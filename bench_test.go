@@ -1,0 +1,230 @@
+package llmprism
+
+// One benchmark per paper table/figure (E1-E5) and per ablation (A1-A3),
+// running the same experiment harness as cmd/repro at reduced scale so a
+// full `go test -bench=.` pass stays in the minutes range. cmd/repro runs
+// the identical code at paper scale. Accuracy-style results are attached
+// as custom benchmark metrics.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/experiments"
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// BenchmarkFig3JobRecognition regenerates E1 (Fig. 3): job recognition
+// over a multi-tenant cluster from a 1-minute flow window.
+func BenchmarkFig3JobRecognition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(experiments.Options{Scale: 0.15, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Recognition.ExactMatches)/float64(res.Recognition.TrueJobs), "recognition")
+		b.ReportMetric(float64(res.JobClusters), "jobs")
+	}
+}
+
+// BenchmarkTable1Parallelism regenerates E2 (Table I): pair classification
+// accuracy with and without refinement over 1- and 3-minute windows.
+func BenchmarkTable1Parallelism(b *testing.B) {
+	// 10s steps keep ~4-5 steps inside the 1-minute window at this toy
+	// scale, so the per-pair mode has enough votes to be representative
+	// of the paper-scale configuration cmd/repro runs.
+	cfg := experiments.Table1Config{
+		Jobs:        1,
+		NodesPerJob: 32,
+		Windows:     []time.Duration{time.Minute, 3 * time.Minute},
+		TargetStep:  10 * time.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(cfg, experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AccWithout, "acc_1m_worefine")
+		b.ReportMetric(res.Rows[0].AccWith, "acc_1m_refined")
+	}
+}
+
+// BenchmarkFig4Timeline regenerates E3 (§V-C/Fig. 4): timeline
+// reconstruction error against ground truth.
+func BenchmarkFig4Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Options{Scale: 0.15, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Score.MeanRelError, "err_pct")
+	}
+}
+
+// BenchmarkFig5SwitchDiagnosis regenerates E4 (Fig. 5): switch-level
+// bandwidth diagnosis under spine degradation.
+func BenchmarkFig5SwitchDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(experiments.Options{Scale: 0.35, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.InjectedFlagged)/float64(len(res.Injected)), "recall")
+		b.ReportMetric(float64(res.FalselyFlagged), "false_flags")
+	}
+}
+
+// BenchmarkCrossStepDiagnosis regenerates the straggler half of E5 (§V-D).
+func BenchmarkCrossStepDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Diagnosis(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(boolMetric(res.StragglerJobDetected), "detected")
+		b.ReportMetric(float64(res.CrossStepInWindow), "alerts_in_window")
+	}
+}
+
+// BenchmarkCrossGroupDiagnosis regenerates the slow-DP-group half of E5.
+func BenchmarkCrossGroupDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Diagnosis(experiments.Options{Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(boolMetric(res.SlowGroupDetected), "detected")
+		b.ReportMetric(float64(res.CrossGroupAlerts), "alerts")
+	}
+}
+
+// BenchmarkAblationNetsimMode regenerates A1: fluid vs analytic network
+// model.
+func BenchmarkAblationNetsimMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationNetsimMode(experiments.Options{Scale: 0.15, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FairShareError, "fair_err_pct")
+		b.ReportMetric(100*res.AnalyticError, "analytic_err_pct")
+	}
+}
+
+// BenchmarkAblationStepSplitter regenerates A2: BOCD vs naive splitting.
+func BenchmarkAblationStepSplitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStepSplitter(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.BOCDStepCountErr, "bocd_err_pct")
+		b.ReportMetric(100*res.NaiveStepCountErr, "naive_err_pct")
+	}
+}
+
+// BenchmarkAblationRingCount regenerates A3: ring count vs refinement.
+func BenchmarkAblationRingCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRingCount(experiments.Options{Scale: 0.5, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AccWith, "acc_1ring")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].AccWith, "acc_4ring")
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- analysis-phase micro-benchmarks on a shared pre-simulated trace ---
+
+var (
+	benchOnce    sync.Once
+	benchRecords []flow.Record
+	benchTopo    *Topology
+	benchErr     error
+)
+
+func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
+	b.Helper()
+	benchOnce.Do(func() {
+		topoSpec := TopologySpec{Nodes: 32, NodesPerLeaf: 8, Spines: 4}
+		jobs, err := PlanJobs(topoSpec, []JobPlan{
+			{Nodes: 16, TargetStep: 3 * time.Second},
+			{Nodes: 8, TargetStep: 2 * time.Second},
+			{Nodes: 8, TargetStep: 4 * time.Second},
+		}, 1)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		res, err := Simulate(Scenario{
+			Name: "bench-trace", Topo: topoSpec, Jobs: jobs,
+			Faults:  faults.Schedule{},
+			Horizon: 60 * time.Second,
+		})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchRecords = res.Records
+		benchTopo = res.Topo
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRecords, benchTopo
+}
+
+// BenchmarkAnalyzePipeline measures the cost of the full four-phase
+// analysis over one minute of flows from a 256-GPU platform — the quantity
+// that determines whether continuous monitoring keeps up with collection.
+func BenchmarkAnalyzePipeline(b *testing.B) {
+	records, topo := benchTrace(b)
+	analyzer := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyzer.Analyze(records, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkMonitorFeed measures streaming ingestion in 5-second batches.
+func BenchmarkMonitorFeed(b *testing.B) {
+	records, topo := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		monitor, err := NewMonitor(New(), topo, 20*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch []flow.Record
+		cut := records[0].Start.Add(5 * time.Second)
+		for _, r := range records {
+			if r.Start.After(cut) {
+				if _, err := monitor.Feed(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+				cut = cut.Add(5 * time.Second)
+			}
+			batch = append(batch, r)
+		}
+		if _, err := monitor.Feed(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := monitor.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command flowgen generates a synthetic multi-tenant LLM training platform
+// trace: ERSPAN-style flow records plus the topology needed to analyze
+// them, standing in for a production collector export.
+//
+// Usage:
+//
+//	flowgen -nodes 48 -jobs 16,16,8 -minutes 3 -seed 7 \
+//	        -flows flows.csv -topo topo.json
+//
+// The flows file can then be analyzed with `llmprism analyze`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/erspan"
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes     = flag.Int("nodes", 48, "fabric size in servers (8 GPUs each)")
+		perLeaf   = flag.Int("nodes-per-leaf", 8, "servers per leaf switch")
+		spines    = flag.Int("spines", 8, "spine switch count")
+		jobsSpec  = flag.String("jobs", "16,16,8", "comma-separated node counts of tenant jobs")
+		minutes   = flag.Float64("minutes", 3, "simulated duration in minutes")
+		stepSec   = flag.Float64("step", 10, "target training-step duration in seconds")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		loss      = flag.Float64("loss", 0.001, "collector record loss probability")
+		flowsPath = flag.String("flows", "flows.csv", "output flow records (CSV, or .jsonl)")
+		topoPath  = flag.String("topo", "topo.json", "output topology spec (JSON)")
+		degrade   = flag.String("degrade-switch", "", "inject a mid-run switch degradation, e.g. 'spine:1:0.2'")
+	)
+	flag.Parse()
+
+	var plans []platform.JobPlan
+	for _, part := range strings.Split(*jobsSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("parse -jobs %q: %w", *jobsSpec, err)
+		}
+		plans = append(plans, platform.JobPlan{
+			Nodes:      n,
+			TargetStep: time.Duration(*stepSec * float64(time.Second)),
+		})
+	}
+	topoSpec := topology.Spec{Nodes: *nodes, NodesPerLeaf: *perLeaf, Spines: *spines}
+	jobs, err := platform.PlanJobs(topoSpec, plans, *seed)
+	if err != nil {
+		return err
+	}
+
+	horizon := time.Duration(*minutes * float64(time.Minute))
+	var sched faults.Schedule
+	if *degrade != "" {
+		fault, err := parseDegrade(*degrade, topoSpec, horizon)
+		if err != nil {
+			return err
+		}
+		sched.Faults = append(sched.Faults, fault)
+	}
+
+	res, err := platform.Run(platform.Scenario{
+		Name:      "flowgen",
+		Topo:      topoSpec,
+		Jobs:      jobs,
+		Faults:    sched,
+		Collector: erspan.Config{LossProb: *loss, Seed: *seed},
+		Horizon:   horizon,
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := writeFlows(*flowsPath, res.Records); err != nil {
+		return err
+	}
+	topoFile, err := os.Create(*topoPath)
+	if err != nil {
+		return err
+	}
+	defer topoFile.Close()
+	if err := res.Topo.WriteJSON(topoFile); err != nil {
+		return err
+	}
+
+	fmt.Printf("simulated %d jobs on %d GPUs for %v\n",
+		len(res.Truth.Jobs), res.Topo.Endpoints(), horizon)
+	fmt.Printf("wrote %d flow records to %s (%d lost by collector), topology to %s\n",
+		len(res.Records), *flowsPath, res.Lost, *topoPath)
+	return nil
+}
+
+func parseDegrade(spec string, topoSpec topology.Spec, horizon time.Duration) (faults.Fault, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return faults.Fault{}, fmt.Errorf("parse -degrade-switch %q: want kind:index:factor", spec)
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return faults.Fault{}, fmt.Errorf("parse -degrade-switch index: %w", err)
+	}
+	factor, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return faults.Fault{}, fmt.Errorf("parse -degrade-switch factor: %w", err)
+	}
+	topo, err := topology.New(topoSpec)
+	if err != nil {
+		return faults.Fault{}, err
+	}
+	var sw flow.SwitchID
+	switch parts[0] {
+	case "spine":
+		sw = topo.SpineSwitch(idx)
+	case "leaf":
+		sw = topo.LeafSwitch(idx)
+	default:
+		return faults.Fault{}, fmt.Errorf("parse -degrade-switch kind %q: want spine or leaf", parts[0])
+	}
+	return faults.Fault{
+		Kind:   faults.KindSwitchDegrade,
+		Switch: sw,
+		At:     horizon / 3,
+		Until:  2 * horizon / 3,
+		Factor: factor,
+	}, nil
+}
+
+func writeFlows(path string, records []flow.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return flow.WriteJSONL(f, records)
+	}
+	return flow.WriteCSV(f, records)
+}

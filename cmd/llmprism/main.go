@@ -1,0 +1,175 @@
+// Command llmprism analyzes a window of collected network flow records and
+// reports recognized training jobs, their parallelism strategies,
+// reconstructed training timelines and diagnosed performance issues — the
+// full black-box pipeline of the paper, as a platform operator would run it.
+//
+// Usage:
+//
+//	llmprism analyze  -flows flows.csv -topo topo.json [-alerts-only]
+//	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
+//	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "llmprism:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: llmprism <analyze|timeline|switches> [flags]")
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		flowsPath  = fs.String("flows", "flows.csv", "flow records (CSV or .jsonl)")
+		topoPath   = fs.String("topo", "topo.json", "topology spec (JSON)")
+		alertsOnly = fs.Bool("alerts-only", false, "print only alerts (analyze)")
+		jobIdx     = fs.Int("job", 0, "job index (timeline)")
+		ranks      = fs.Int("ranks", 8, "ranks to render (timeline)")
+		width      = fs.Int("width", 120, "render width in cells (timeline)")
+		bucket     = fs.Duration("bucket", time.Minute, "aggregation bucket (switches)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		return err
+	}
+
+	records, topo, err := load(*flowsPath, *topoPath)
+	if err != nil {
+		return err
+	}
+	analyzer := llmprism.New(llmprism.WithSwitchBucket(*bucket))
+	report, err := analyzer.Analyze(records, topo)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "analyze":
+		return printAnalysis(report, topo, *alertsOnly)
+	case "timeline":
+		return printTimeline(report, *jobIdx, *ranks, *width)
+	case "switches":
+		fmt.Print(viz.BandwidthSeries(report.SwitchSeries, topo.SwitchName))
+		fmt.Println("\nswitch-level alerts:")
+		fmt.Print(viz.AlertList(report.SwitchAlerts))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want analyze, timeline or switches)", cmd)
+	}
+}
+
+func load(flowsPath, topoPath string) ([]flow.Record, *topology.Topology, error) {
+	ff, err := os.Open(flowsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ff.Close()
+	var records []flow.Record
+	if strings.HasSuffix(flowsPath, ".jsonl") {
+		records, err = flow.ReadJSONL(ff)
+	} else {
+		records, err = flow.ReadCSV(ff)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := os.Open(topoPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	topo, err := topology.ReadJSON(tf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return records, topo, nil
+}
+
+func printAnalysis(report *llmprism.Report, topo *topology.Topology, alertsOnly bool) error {
+	if !alertsOnly {
+		fmt.Printf("recognized %d training jobs\n\n", len(report.Jobs))
+		for i, job := range report.Jobs {
+			var pp, dp int
+			for _, t := range job.Types {
+				if t == llmprism.TypeDP {
+					dp++
+				} else {
+					pp++
+				}
+			}
+			kind := "DP-only"
+			if pp > 0 {
+				kind = "PP+DP"
+			}
+			var meanStep time.Duration
+			var n int
+			for _, tl := range job.Timelines {
+				if d := timeline.MeanStepDuration(tl); d > 0 {
+					meanStep += d
+					n++
+				}
+			}
+			if n > 0 {
+				meanStep /= time.Duration(n)
+			}
+			fmt.Printf("job %d: %d GPUs on %d servers, %s, %d DP groups, %d DP pairs, %d PP pairs, mean step %v\n",
+				i, len(job.Cluster.Endpoints), len(job.Cluster.Servers), kind,
+				len(job.DPGroups), dp, pp, meanStep.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	alerts := report.Alerts()
+	fmt.Printf("alerts (%d):\n", len(alerts))
+	fmt.Print(viz.AlertList(alerts))
+	return nil
+}
+
+func printTimeline(report *llmprism.Report, jobIdx, nRanks, width int) error {
+	if jobIdx < 0 || jobIdx >= len(report.Jobs) {
+		return fmt.Errorf("job index %d out of range (have %d jobs)", jobIdx, len(report.Jobs))
+	}
+	job := report.Jobs[jobIdx]
+	ranks := make([]flow.Addr, 0, len(job.Timelines))
+	for r, tl := range job.Timelines {
+		if len(tl.Steps) > 0 {
+			ranks = append(ranks, r)
+		}
+	}
+	if len(ranks) == 0 {
+		return fmt.Errorf("job %d has no reconstructed steps", jobIdx)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	if len(ranks) > nRanks {
+		ranks = ranks[:nRanks]
+	}
+	tl := job.Timelines[ranks[0]]
+	mid := len(tl.Steps) / 2
+	from := tl.Steps[mid].Start
+	span := 2 * timeline.MeanStepDuration(tl)
+	if span <= 0 {
+		span = 2 * tl.Steps[mid].Duration()
+	}
+	if span <= 0 {
+		return fmt.Errorf("job %d has empty reconstructed steps", jobIdx)
+	}
+	fmt.Print(viz.TimelineSwimlanes(job.Timelines, ranks, from, from.Add(span), width))
+	return nil
+}

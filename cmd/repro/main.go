@@ -1,0 +1,89 @@
+// Command repro regenerates every table and figure of the LLMPrism paper's
+// evaluation (plus this reproduction's ablations) on the simulated
+// platform, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	repro                  # run everything at paper scale
+//	repro -exp table1      # one experiment: fig3|table1|fig4|fig5|diagnosis|a1|a2|a3
+//	repro -scale 0.25      # reduced scale for quick runs
+//	repro -seed 7
+//
+// Paper-scale runs simulate hundreds of millions of bytes of flow records
+// and take minutes per experiment; -scale trades fidelity for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(experiments.Options) (fmt.Stringer, error)
+}
+
+// stringerFunc adapts a Report() method to fmt.Stringer.
+type report struct{ text string }
+
+func (r report) String() string { return r.text }
+
+func wrap[T interface{ Report() string }](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) {
+		res, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return report{res.Report()}, nil
+	}
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all|fig3|table1|fig4|fig5|diagnosis|a1|a2|a3")
+		scale = flag.Float64("scale", 1, "scenario scale in (0, 1]")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	runners := []runner{
+		{"fig3", "E1: job recognition (Fig. 3)", wrap(experiments.Fig3)},
+		{"table1", "E2: parallelism identification (Table I)", wrap(func(o experiments.Options) (*experiments.Table1Result, error) {
+			return experiments.Table1(experiments.Table1Config{}, o)
+		})},
+		{"fig4", "E3: timeline reconstruction (§V-C, Fig. 4)", wrap(experiments.Fig4)},
+		{"fig5", "E4: switch-level diagnosis (Fig. 5)", wrap(experiments.Fig5)},
+		{"diagnosis", "E5: cross-step / cross-group diagnosis (§V-D)", wrap(experiments.Diagnosis)},
+		{"a1", "A1: netsim mode ablation", wrap(experiments.AblationNetsimMode)},
+		{"a2", "A2: step-splitter ablation", wrap(experiments.AblationStepSplitter)},
+		{"a3", "A3: ring-count ablation", wrap(experiments.AblationRingCount)},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *exp != "all" && !strings.EqualFold(*exp, r.name) {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", r.desc)
+		start := time.Now()
+		res, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Online monitoring: the Monitor consumes the collector's flow stream in
+// consecutive windows — the paper's continuous deployment mode. A GPU
+// starts thermal throttling mid-run; the cross-step detector raises alerts
+// in the window where it happens.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/llmprism/llmprism"
+)
+
+func main() {
+	topoSpec := llmprism.TopologySpec{Nodes: 16, NodesPerLeaf: 8, Spines: 4}
+	jobs, err := llmprism.PlanJobs(topoSpec, []llmprism.JobPlan{
+		{Nodes: 16, TargetStep: 2 * time.Second},
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// GPU 3 of server 1 throttles to quarter speed from 1:00 to 1:40.
+	topo, err := llmprism.NewTopology(topoSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := topo.AddrOf(1, 3)
+	res, err := llmprism.Simulate(llmprism.Scenario{
+		Name: "online-monitor",
+		Topo: topoSpec,
+		Jobs: jobs,
+		Faults: llmprism.FaultSchedule{Faults: []llmprism.Fault{{
+			Kind:   llmprism.FaultRankSlowdown,
+			Addr:   victim,
+			At:     time.Minute,
+			Until:  100 * time.Second,
+			Factor: 4,
+		}}},
+		Horizon: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming %d records; GPU %v throttles 4x during 1:00-1:40\n\n", len(res.Records), victim)
+
+	// 40-second windows put the throttling onset mid-window, so the
+	// cross-step detector sees healthy steps first and the slowdown
+	// stands out against them.
+	monitor, err := llmprism.NewMonitor(llmprism.New(), res.Topo, 40*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the trace in 5-second batches, as a collector would export it.
+	const batch = 5 * time.Second
+	window := 0
+	for at := time.Duration(0); at < 2*time.Minute; at += batch {
+		reports, err := monitor.Feed(res.Window(at, batch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, report := range reports {
+			window++
+			alerts := report.Alerts()
+			fmt.Printf("window %d: %d jobs, %d alerts\n", window, len(report.Jobs), len(alerts))
+			if len(alerts) > 0 {
+				fmt.Print(llmprism.RenderAlerts(alerts))
+			}
+		}
+	}
+	if report, err := monitor.Flush(); err != nil {
+		log.Fatal(err)
+	} else if report != nil {
+		window++
+		fmt.Printf("window %d (flush): %d alerts\n", window, len(report.Alerts()))
+	}
+}

@@ -1,0 +1,253 @@
+// Package bocd implements Bayesian Online Changepoint Detection
+// (Adams & MacKay, 2007), the change-point detector LLMPrism uses to divide
+// network flow sequences into training steps (§IV-B, §IV-C of the paper).
+//
+// The detector maintains a posterior distribution over the current
+// "run length" r_t (time since the last change-point). Observations are
+// modelled as Gaussian with unknown mean and variance under a Normal-Gamma
+// conjugate prior, giving a Student-t predictive distribution. A constant
+// hazard function governs change-point arrival. The paper reports a
+// change-point whenever P(r_t = 0) exceeds a threshold (0.95 in their
+// implementation, our default).
+//
+// All computation is in log space; the run-length distribution is truncated
+// at a configurable maximum length for linear-time operation.
+package bocd
+
+import (
+	"math"
+)
+
+// Config parameterizes a Detector. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// Hazard is the per-observation change-point probability (1/expected
+	// run length). Default 1/100.
+	Hazard float64
+	// Threshold is the posterior change-point probability above which
+	// a change-point is reported. Default 0.95 (the paper's setting).
+	Threshold float64
+	// MaxRunLength truncates the run-length distribution. Default 512.
+	MaxRunLength int
+	// Prior hyperparameters of the Normal-Gamma prior on (mean, precision).
+	// Defaults: Mu0=0, Kappa0=0.1, Alpha0=1, Beta0=1. The small Kappa0
+	// keeps the prior on the mean vague, so the change-point hypothesis
+	// (which predicts from the prior) explains genuine regime shifts far
+	// better than the incumbent run hypotheses and P(r_t = 0) saturates.
+	Mu0, Kappa0, Alpha0, Beta0 float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hazard <= 0 || c.Hazard >= 1 {
+		c.Hazard = 1.0 / 100
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		c.Threshold = 0.95
+	}
+	if c.MaxRunLength <= 0 {
+		c.MaxRunLength = 512
+	}
+	if c.Kappa0 <= 0 {
+		c.Kappa0 = 0.1
+	}
+	if c.Alpha0 <= 0 {
+		c.Alpha0 = 1
+	}
+	if c.Beta0 <= 0 {
+		c.Beta0 = 1
+	}
+	return c
+}
+
+// Detector is an online BOCD instance. Construct with New.
+type Detector struct {
+	cfg     Config
+	logH    float64 // log hazard
+	log1mH  float64 // log(1 - hazard)
+	logp    []float64
+	kappa   []float64
+	mu      []float64
+	alpha   []float64
+	beta    []float64
+	scratch []float64
+	n       int
+}
+
+// New returns a Detector with the given configuration.
+func New(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	d := &Detector{
+		cfg:    cfg,
+		logH:   math.Log(cfg.Hazard),
+		log1mH: math.Log1p(-cfg.Hazard),
+	}
+	d.reset()
+	return d
+}
+
+func (d *Detector) reset() {
+	d.logp = append(d.logp[:0], 0) // P(r_0 = 0) = 1
+	d.kappa = append(d.kappa[:0], d.cfg.Kappa0)
+	d.mu = append(d.mu[:0], d.cfg.Mu0)
+	d.alpha = append(d.alpha[:0], d.cfg.Alpha0)
+	d.beta = append(d.beta[:0], d.cfg.Beta0)
+	d.n = 0
+}
+
+// N returns the number of observations consumed.
+func (d *Detector) N() int { return d.n }
+
+// studentTLogPDF returns the log density of x under a Student-t with nu
+// degrees of freedom, the given location, and scale sigma (not squared).
+func studentTLogPDF(x, nu, loc, sigma float64) float64 {
+	z := (x - loc) / sigma
+	return lgamma((nu+1)/2) - lgamma(nu/2) -
+		0.5*math.Log(nu*math.Pi) - math.Log(sigma) -
+		(nu+1)/2*math.Log1p(z*z/nu)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Step consumes one observation and returns the posterior probability that
+// a change-point occurred at this observation, P(r_t = 0 | x_{1:t}).
+//
+// Convention: r_t = 0 means x is the first observation of a new segment, so
+// the change-point hypothesis predicts x from the prior, while the growth
+// hypotheses predict x from the sufficient statistics of their runs. (With
+// the alternative "change-point after x_t" convention, P(r_t = 0) is
+// identically the hazard and useless for thresholding, which is how the
+// paper applies it.)
+func (d *Detector) Step(x float64) float64 {
+	n := len(d.logp)
+	// Predictive log-probability of x under each run-length hypothesis.
+	if cap(d.scratch) < n {
+		d.scratch = make([]float64, n)
+	}
+	logpred := d.scratch[:n]
+	for r := 0; r < n; r++ {
+		nu := 2 * d.alpha[r]
+		scale := math.Sqrt(d.beta[r] * (d.kappa[r] + 1) / (d.alpha[r] * d.kappa[r]))
+		logpred[r] = studentTLogPDF(x, nu, d.mu[r], scale)
+	}
+	priorScale := math.Sqrt(d.cfg.Beta0 * (d.cfg.Kappa0 + 1) / (d.cfg.Alpha0 * d.cfg.Kappa0))
+	logPriorPred := studentTLogPDF(x, 2*d.cfg.Alpha0, d.cfg.Mu0, priorScale)
+
+	// Growth probabilities: r -> r+1; the change-point hypothesis pools the
+	// hazard mass of every run and predicts x from the prior.
+	newLogp := make([]float64, n+1)
+	for r := 0; r < n; r++ {
+		newLogp[r+1] = d.logp[r] + logpred[r] + d.log1mH
+	}
+	newLogp[0] = logSumExp(d.logp) + d.logH + logPriorPred
+
+	// Normalize.
+	total := logSumExp(newLogp)
+	for i := range newLogp {
+		newLogp[i] -= total
+	}
+
+	// Posterior parameter update: run length r+1 inherits stats of r
+	// updated with x; run length 0 restarts from the prior updated with x
+	// (its segment contains exactly x).
+	newKappa := make([]float64, n+1)
+	newMu := make([]float64, n+1)
+	newAlpha := make([]float64, n+1)
+	newBeta := make([]float64, n+1)
+	k0, m0, a0, b0 := d.cfg.Kappa0, d.cfg.Mu0, d.cfg.Alpha0, d.cfg.Beta0
+	newKappa[0] = k0 + 1
+	newMu[0] = (k0*m0 + x) / (k0 + 1)
+	newAlpha[0] = a0 + 0.5
+	newBeta[0] = b0 + k0*(x-m0)*(x-m0)/(2*(k0+1))
+	for r := 0; r < n; r++ {
+		k, m, a, b := d.kappa[r], d.mu[r], d.alpha[r], d.beta[r]
+		newKappa[r+1] = k + 1
+		newMu[r+1] = (k*m + x) / (k + 1)
+		newAlpha[r+1] = a + 0.5
+		newBeta[r+1] = b + k*(x-m)*(x-m)/(2*(k+1))
+	}
+
+	d.logp, d.kappa, d.mu, d.alpha, d.beta = newLogp, newKappa, newMu, newAlpha, newBeta
+	d.truncate()
+	d.n++
+	return math.Exp(d.logp[0])
+}
+
+// truncate caps the run-length distribution at MaxRunLength by folding the
+// tail mass into the final (longest) hypothesis.
+func (d *Detector) truncate() {
+	max := d.cfg.MaxRunLength
+	if len(d.logp) <= max {
+		return
+	}
+	tail := logSumExp(d.logp[max-1:])
+	d.logp = d.logp[:max]
+	d.logp[max-1] = tail
+	// Keep the sufficient statistics of the longest run for the folded bucket.
+	last := len(d.kappa) - 1
+	d.kappa[max-1] = d.kappa[last]
+	d.mu[max-1] = d.mu[last]
+	d.alpha[max-1] = d.alpha[last]
+	d.beta[max-1] = d.beta[last]
+	d.kappa = d.kappa[:max]
+	d.mu = d.mu[:max]
+	d.alpha = d.alpha[:max]
+	d.beta = d.beta[:max]
+}
+
+// RunLengthDist returns a copy of the current run-length posterior
+// probabilities (index = run length).
+func (d *Detector) RunLengthDist() []float64 {
+	out := make([]float64, len(d.logp))
+	for i, lp := range d.logp {
+		out[i] = math.Exp(lp)
+	}
+	return out
+}
+
+// MAPRunLength returns the maximum a posteriori run length.
+func (d *Detector) MAPRunLength() int {
+	best, bestLP := 0, math.Inf(-1)
+	for r, lp := range d.logp {
+		if lp > bestLP {
+			best, bestLP = r, lp
+		}
+	}
+	return best
+}
+
+// Detect runs a fresh detector over xs and returns the indices i where
+// P(r_i = 0) exceeded the configured threshold.
+func Detect(xs []float64, cfg Config) []int {
+	cfg = cfg.withDefaults()
+	d := New(cfg)
+	var cps []int
+	for i, x := range xs {
+		if p := d.Step(x); p > cfg.Threshold && i > 0 {
+			cps = append(cps, i)
+		}
+	}
+	return cps
+}
+
+func logSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}

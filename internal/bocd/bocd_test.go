@@ -1,0 +1,273 @@
+package bocd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDetectorFindsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs []float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, rng.NormFloat64()*0.5)
+	}
+	for i := 0; i < 60; i++ {
+		xs = append(xs, 10+rng.NormFloat64()*0.5)
+	}
+	cps := Detect(xs, Config{Hazard: 1.0 / 50})
+	if len(cps) == 0 {
+		t.Fatal("no change-point detected across a 20-sigma mean shift")
+	}
+	found := false
+	for _, cp := range cps {
+		if cp >= 58 && cp <= 63 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("change-points %v do not include the true shift at 60", cps)
+	}
+}
+
+func TestDetectorQuietOnStationaryData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := New(Config{Hazard: 1.0 / 200})
+	fires := 0
+	for i := 0; i < 500; i++ {
+		if p := d.Step(rng.NormFloat64()); p > 0.95 && i > 5 {
+			fires++
+		}
+	}
+	if fires > 5 {
+		t.Errorf("detector fired %d times on stationary noise, want <= 5", fires)
+	}
+}
+
+func TestRunLengthDistNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := New(Config{})
+	for i := 0; i < 100; i++ {
+		d.Step(rng.NormFloat64())
+	}
+	sum := 0.0
+	for _, p := range d.RunLengthDist() {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("run-length distribution sums to %v, want 1", sum)
+	}
+}
+
+func TestMAPRunLengthGrowsOnStationaryData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := New(Config{Hazard: 1.0 / 1000})
+	for i := 0; i < 200; i++ {
+		d.Step(5 + rng.NormFloat64()*0.1)
+	}
+	if got := d.MAPRunLength(); got < 150 {
+		t.Errorf("MAP run length = %d after 200 stationary obs, want >= 150", got)
+	}
+}
+
+func TestTruncationKeepsWorking(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := New(Config{MaxRunLength: 16, Hazard: 1.0 / 50})
+	for i := 0; i < 200; i++ {
+		d.Step(rng.NormFloat64())
+	}
+	if len(d.RunLengthDist()) > 16 {
+		t.Errorf("run-length dist has %d entries, want <= 16", len(d.RunLengthDist()))
+	}
+	// Detection must still work after long truncated operation.
+	fired := false
+	for i := 0; i < 50; i++ {
+		if p := d.Step(50 + rng.NormFloat64()); p > 0.95 {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("truncated detector failed to fire on a 50-sigma shift")
+	}
+}
+
+// Property: Step output is always a valid probability and the distribution
+// stays normalized regardless of input.
+func TestStepOutputsValidProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(Config{})
+		for i := 0; i < 50; i++ {
+			x := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)))
+			p := d.Step(x)
+			if math.IsNaN(p) || p < 0 || p > 1+1e-9 {
+				return false
+			}
+		}
+		sum := 0.0
+		for _, q := range d.RunLengthDist() {
+			sum += q
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := logSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("logSumExp = %v, want log(6)", got)
+	}
+	if !math.IsInf(logSumExp(nil), -1) {
+		t.Error("logSumExp(nil) should be -Inf")
+	}
+	if !math.IsInf(logSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Error("logSumExp of -Inf should be -Inf")
+	}
+}
+
+func TestStudentTLogPDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+			return true
+		}
+		a := studentTLogPDF(x, 3, 0, 1)
+		b := studentTLogPDF(-x, 3, 0, 1)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Step splitting ---
+
+var splitEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// syntheticStepTimes builds nSteps bursts of burstLen events spaced
+// intraGap apart, with interGap between bursts, plus optional jitter.
+func syntheticStepTimes(nSteps, burstLen int, intraGap, interGap time.Duration, jitter float64, seed int64) []time.Time {
+	rng := rand.New(rand.NewSource(seed))
+	var times []time.Time
+	cursor := splitEpoch
+	for s := 0; s < nSteps; s++ {
+		for i := 0; i < burstLen; i++ {
+			times = append(times, cursor)
+			gap := intraGap
+			if jitter > 0 {
+				gap += time.Duration(rng.NormFloat64() * jitter * float64(intraGap))
+				if gap < intraGap/10 {
+					gap = intraGap / 10
+				}
+			}
+			cursor = cursor.Add(gap)
+		}
+		cursor = cursor.Add(interGap)
+	}
+	return times
+}
+
+func TestSplitTimesCleanSteps(t *testing.T) {
+	times := syntheticStepTimes(8, 20, time.Millisecond, 2*time.Second, 0, 1)
+	segments := SplitTimes(times, SplitConfig{})
+	if len(segments) != 8 {
+		t.Fatalf("got %d segments, want 8", len(segments))
+	}
+	for i, seg := range segments {
+		if seg.Len() != 20 {
+			t.Errorf("segment %d has %d events, want 20", i, seg.Len())
+		}
+	}
+}
+
+func TestSplitTimesWithJitter(t *testing.T) {
+	times := syntheticStepTimes(10, 30, time.Millisecond, time.Second, 0.3, 2)
+	segments := SplitTimes(times, SplitConfig{})
+	if len(segments) != 10 {
+		t.Fatalf("got %d segments with jitter, want 10", len(segments))
+	}
+}
+
+func TestSplitTimesPartitionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSteps := 1 + rng.Intn(6)
+		burst := 3 + rng.Intn(20)
+		times := syntheticStepTimes(nSteps, burst, time.Millisecond, time.Second, 0.2, seed)
+		segments := SplitTimes(times, SplitConfig{})
+		// Segments must partition [0, len(times)) contiguously.
+		expect := 0
+		for _, seg := range segments {
+			if seg.Lo != expect || seg.Hi <= seg.Lo {
+				return false
+			}
+			expect = seg.Hi
+		}
+		return expect == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitTimesSmallInputs(t *testing.T) {
+	if got := SplitTimes(nil, SplitConfig{}); got != nil {
+		t.Errorf("SplitTimes(nil) = %v, want nil", got)
+	}
+	one := []time.Time{splitEpoch}
+	if got := SplitTimes(one, SplitConfig{}); len(got) != 1 || got[0] != (Segment{0, 1}) {
+		t.Errorf("SplitTimes(one event) = %v, want single segment", got)
+	}
+	two := []time.Time{splitEpoch, splitEpoch.Add(time.Second)}
+	if got := SplitTimes(two, SplitConfig{}); len(got) != 1 || got[0] != (Segment{0, 2}) {
+		t.Errorf("SplitTimes(two events) = %v, want single segment", got)
+	}
+}
+
+func TestNaiveSplitTimes(t *testing.T) {
+	times := syntheticStepTimes(5, 10, time.Millisecond, time.Second, 0, 3)
+	segments := NaiveSplitTimes(times, 5)
+	if len(segments) != 5 {
+		t.Fatalf("naive splitter got %d segments, want 5", len(segments))
+	}
+	if got := NaiveSplitTimes(nil, 5); got != nil {
+		t.Error("NaiveSplitTimes(nil) should be nil")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("medianOf odd = %v, want 2", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("medianOf even = %v, want 2.5", got)
+	}
+	if got := medianOf(nil); got != 0 {
+		t.Errorf("medianOf(nil) = %v, want 0", got)
+	}
+}
+
+func BenchmarkDetectorStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(Config{MaxRunLength: 256})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step(rng.NormFloat64())
+	}
+}
+
+func BenchmarkSplitTimes(b *testing.B) {
+	times := syntheticStepTimes(20, 50, time.Millisecond, time.Second, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitTimes(times, SplitConfig{})
+	}
+}

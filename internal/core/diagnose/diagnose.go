@@ -1,0 +1,359 @@
+// Package diagnose implements LLMPrism's multi-dimensional performance
+// degradation detection (§IV-D of the paper) on top of reconstructed
+// timelines:
+//
+//   - cross-step: a rank's step durations should be stable; longer steps
+//     indicate compute or communication slowdown (stragglers, throttling).
+//   - cross-group: DP groups of the same job should spend similar time in
+//     their collectives each step; a slow group points at its network path.
+//   - switch-level: per-switch concurrent DP flow counts (configuration-
+//     induced congestion) and per-switch average DP flow bandwidth
+//     (degraded or congested switches, the paper's Fig. 5).
+//
+// All detectors use the k-sigma rule with k = 3 by default. (The paper's σ
+// formula is a typo — as printed it is identically zero — so the standard
+// deviation is used.)
+package diagnose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stats"
+)
+
+// AlertKind classifies an alert.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	AlertCrossStep AlertKind = iota + 1
+	AlertCrossGroup
+	AlertSwitchFlowCount
+	AlertSwitchBandwidth
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertCrossStep:
+		return "cross-step"
+	case AlertCrossGroup:
+		return "cross-group"
+	case AlertSwitchFlowCount:
+		return "switch-flow-count"
+	case AlertSwitchBandwidth:
+		return "switch-bandwidth"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", uint8(k))
+	}
+}
+
+// Alert is one detected anomaly.
+type Alert struct {
+	Kind AlertKind
+	// Rank is set for cross-step alerts.
+	Rank flow.Addr
+	// Group indexes the job's DP group list for cross-group alerts.
+	Group int
+	// Step is the window-relative step index (cross-step, cross-group).
+	Step int
+	// Switch is set for switch-level alerts.
+	Switch flow.SwitchID
+	// Time locates the anomaly.
+	Time time.Time
+	// Value is the anomalous measurement; Baseline the healthy reference
+	// (seconds for durations, Gb/s for bandwidth, count for flows).
+	Value, Baseline float64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Config tunes the detectors.
+type Config struct {
+	// K is the k-sigma multiplier. Default 3.
+	K float64
+	// MinSamples is the minimum population for a k-sigma decision.
+	// Default 6.
+	MinSamples int
+	// MaxConcurrentDPFlows alerts switches carrying more distinct DP
+	// flows than this within a bucket. Zero disables the check.
+	MaxConcurrentDPFlows int
+	// Bucket is the time-bucket width for switch-level series.
+	// Default 1 minute.
+	Bucket time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 6
+	}
+	if c.Bucket <= 0 {
+		c.Bucket = time.Minute
+	}
+	return c
+}
+
+// kSigmaOutlierLOO reports whether xs[i] is a k-sigma outlier against the
+// leave-one-out mean and deviation of the remaining samples, on the given
+// side (+1 upper, -1 lower). Returns the baseline mean.
+func kSigmaOutlierLOO(xs []float64, i int, k float64, side int) (bool, float64) {
+	rest := make([]float64, 0, len(xs)-1)
+	for j, x := range xs {
+		if j != i {
+			rest = append(rest, x)
+		}
+	}
+	mean := stats.Mean(rest)
+	sd := stats.StdDev(rest)
+	if sd < 1e-12 {
+		sd = math.Abs(mean) * 0.01
+		if sd == 0 {
+			sd = 1e-12
+		}
+	}
+	if side >= 0 {
+		return xs[i] > mean+k*sd, mean
+	}
+	return xs[i] < mean-k*sd, mean
+}
+
+// CrossStep flags steps whose duration is a k-sigma upper outlier against
+// the rank's trailing history, mirroring the online deployment: each step
+// is judged against the steps seen before it, and anomalous steps are kept
+// out of the baseline so a long-running incident keeps alerting instead of
+// normalizing itself. The window-truncated first step is skipped.
+func CrossStep(timelines map[flow.Addr]*timeline.Timeline, cfg Config) []Alert {
+	cfg = cfg.withDefaults()
+	var alerts []Alert
+	ranks := sortedRanks(timelines)
+	for _, rank := range ranks {
+		tl := timelines[rank]
+		if len(tl.Steps) < cfg.MinSamples+1 {
+			continue
+		}
+		var w stats.Welford
+		for _, s := range tl.Steps[1:] {
+			dur := s.Duration().Seconds()
+			if w.N() >= cfg.MinSamples {
+				mean := w.Mean()
+				sd := w.StdDev()
+				if floor := 0.01 * mean; sd < floor {
+					sd = floor
+				}
+				if dur > mean+cfg.K*sd {
+					alerts = append(alerts, Alert{
+						Kind:     AlertCrossStep,
+						Rank:     rank,
+						Step:     s.Index,
+						Time:     s.Start,
+						Value:    dur,
+						Baseline: mean,
+						Detail: fmt.Sprintf("rank %v step %d took %.3fs vs baseline %.3fs",
+							rank, s.Index, dur, mean),
+					})
+					continue // keep the anomaly out of the baseline
+				}
+			}
+			w.Add(dur)
+		}
+	}
+	return alerts
+}
+
+// CrossGroup compares the DP segment durations of a job's DP groups step by
+// step and flags groups that are k-sigma slower than their peers.
+func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr, cfg Config) []Alert {
+	cfg = cfg.withDefaults()
+	if len(groups) < cfg.MinSamples {
+		return nil
+	}
+	// groupDur[g][step] = mean DP duration of group g's members at step.
+	maxSteps := 0
+	for _, tl := range timelines {
+		if n := len(tl.Steps); n > maxSteps {
+			maxSteps = n
+		}
+	}
+	var alerts []Alert
+	for step := 1; step < maxSteps; step++ { // skip truncated step 0
+		durs := make([]float64, 0, len(groups))
+		times := make([]time.Time, 0, len(groups))
+		idx := make([]int, 0, len(groups))
+		for g, members := range groups {
+			var sum float64
+			var n int
+			var at time.Time
+			for _, rank := range members {
+				tl, ok := timelines[rank]
+				if !ok || step >= len(tl.Steps) {
+					continue
+				}
+				sum += tl.Steps[step].DPDuration().Seconds()
+				at = tl.Steps[step].DPStart
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			durs = append(durs, sum/float64(n))
+			times = append(times, at)
+			idx = append(idx, g)
+		}
+		if len(durs) < cfg.MinSamples {
+			continue
+		}
+		for i := range durs {
+			if bad, base := kSigmaOutlierLOO(durs, i, cfg.K, +1); bad {
+				alerts = append(alerts, Alert{
+					Kind:     AlertCrossGroup,
+					Group:    idx[i],
+					Step:     step,
+					Time:     times[i],
+					Value:    durs[i],
+					Baseline: base,
+					Detail: fmt.Sprintf("DP group %d step %d collective took %.3fs vs peer baseline %.3fs",
+						idx[i], step, durs[i], base),
+				})
+			}
+		}
+	}
+	return alerts
+}
+
+// SwitchPoint is one time bucket of one switch's DP traffic.
+type SwitchPoint struct {
+	Bucket time.Time
+	// Flows is the number of distinct DP flow records traversing the
+	// switch in the bucket.
+	Flows int
+	// MeanGbps is the average per-flow bandwidth of those records.
+	MeanGbps float64
+}
+
+// SwitchSeries aggregates DP flows per switch into time-bucket series —
+// the quantity plotted in the paper's Fig. 5.
+func SwitchSeries(records []flow.Record, types map[flow.Pair]parallel.Type, cfg Config) map[flow.SwitchID][]SwitchPoint {
+	cfg = cfg.withDefaults()
+	type acc struct {
+		flows int
+		sum   float64
+	}
+	perSwitch := make(map[flow.SwitchID]map[time.Time]*acc)
+	for _, r := range records {
+		if types[r.Pair()] != parallel.TypeDP {
+			continue
+		}
+		bucket := r.Start.Truncate(cfg.Bucket)
+		gbps := r.Gbps()
+		for _, sw := range r.Switches {
+			m := perSwitch[sw]
+			if m == nil {
+				m = make(map[time.Time]*acc)
+				perSwitch[sw] = m
+			}
+			a := m[bucket]
+			if a == nil {
+				a = &acc{}
+				m[bucket] = a
+			}
+			a.flows++
+			a.sum += gbps
+		}
+	}
+	out := make(map[flow.SwitchID][]SwitchPoint, len(perSwitch))
+	for sw, buckets := range perSwitch {
+		points := make([]SwitchPoint, 0, len(buckets))
+		for b, a := range buckets {
+			points = append(points, SwitchPoint{
+				Bucket:   b,
+				Flows:    a.flows,
+				MeanGbps: a.sum / float64(a.flows),
+			})
+		}
+		sort.Slice(points, func(i, j int) bool { return points[i].Bucket.Before(points[j].Bucket) })
+		out[sw] = points
+	}
+	return out
+}
+
+// SwitchDiagnose inspects switch series bucket by bucket: bandwidth
+// degradation (k-sigma lower outlier across switches) and concurrent DP
+// flow limits.
+func SwitchDiagnose(series map[flow.SwitchID][]SwitchPoint, cfg Config) []Alert {
+	cfg = cfg.withDefaults()
+	// Re-index by bucket.
+	type cell struct {
+		sw    flow.SwitchID
+		point SwitchPoint
+	}
+	byBucket := make(map[time.Time][]cell)
+	for sw, points := range series {
+		for _, p := range points {
+			byBucket[p.Bucket] = append(byBucket[p.Bucket], cell{sw, p})
+		}
+	}
+	buckets := make([]time.Time, 0, len(byBucket))
+	for b := range byBucket {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Before(buckets[j]) })
+
+	var alerts []Alert
+	for _, b := range buckets {
+		cells := byBucket[b]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].sw < cells[j].sw })
+		if cfg.MaxConcurrentDPFlows > 0 {
+			for _, c := range cells {
+				if c.point.Flows > cfg.MaxConcurrentDPFlows {
+					alerts = append(alerts, Alert{
+						Kind:     AlertSwitchFlowCount,
+						Switch:   c.sw,
+						Time:     b,
+						Value:    float64(c.point.Flows),
+						Baseline: float64(cfg.MaxConcurrentDPFlows),
+						Detail: fmt.Sprintf("switch %v carried %d DP flows in bucket %s (limit %d)",
+							c.sw, c.point.Flows, b.Format(time.TimeOnly), cfg.MaxConcurrentDPFlows),
+					})
+				}
+			}
+		}
+		if len(cells) < cfg.MinSamples {
+			continue
+		}
+		bws := make([]float64, len(cells))
+		for i, c := range cells {
+			bws[i] = c.point.MeanGbps
+		}
+		for i, c := range cells {
+			if bad, base := kSigmaOutlierLOO(bws, i, cfg.K, -1); bad {
+				alerts = append(alerts, Alert{
+					Kind:     AlertSwitchBandwidth,
+					Switch:   c.sw,
+					Time:     b,
+					Value:    bws[i],
+					Baseline: base,
+					Detail: fmt.Sprintf("switch %v DP bandwidth %.1f Gb/s vs peer baseline %.1f Gb/s",
+						c.sw, bws[i], base),
+				})
+			}
+		}
+	}
+	return alerts
+}
+
+func sortedRanks(timelines map[flow.Addr]*timeline.Timeline) []flow.Addr {
+	ranks := make([]flow.Addr, 0, len(timelines))
+	for r := range timelines {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	return ranks
+}

@@ -1,0 +1,258 @@
+package diagnose
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+var epoch = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// makeTimeline builds a synthetic timeline with the given step durations
+// (step 0 is a truncated stub, as Reconstruct produces).
+func makeTimeline(rank flow.Addr, durs []time.Duration, dpDurs []time.Duration) *timeline.Timeline {
+	tl := &timeline.Timeline{Rank: rank}
+	cursor := epoch
+	for i, d := range durs {
+		dp := 50 * time.Millisecond
+		if dpDurs != nil {
+			dp = dpDurs[i]
+		}
+		end := cursor.Add(d)
+		tl.Steps = append(tl.Steps, timeline.Step{
+			Index:   i,
+			Start:   cursor,
+			End:     end,
+			DPStart: end.Add(-dp),
+			DPEnd:   end,
+		})
+		cursor = end
+	}
+	return tl
+}
+
+func uniformDurs(n int, d time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func TestCrossStepFlagsSlowStep(t *testing.T) {
+	durs := uniformDurs(12, time.Second)
+	durs[7] = 3 * time.Second
+	tls := map[flow.Addr]*timeline.Timeline{
+		1: makeTimeline(1, durs, nil),
+	}
+	alerts := CrossStep(tls, Config{})
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Kind != AlertCrossStep || a.Rank != 1 || a.Step != 7 {
+		t.Errorf("alert = %+v, want cross-step rank 1 step 7", a)
+	}
+	if a.Value < 2.9 || a.Value > 3.1 {
+		t.Errorf("alert value = %v, want ≈ 3", a.Value)
+	}
+}
+
+func TestCrossStepQuietOnUniformSteps(t *testing.T) {
+	tls := map[flow.Addr]*timeline.Timeline{
+		1: makeTimeline(1, uniformDurs(12, time.Second), nil),
+	}
+	if alerts := CrossStep(tls, Config{}); len(alerts) != 0 {
+		t.Errorf("uniform steps raised %d alerts", len(alerts))
+	}
+}
+
+func TestCrossStepRespectsMinSamples(t *testing.T) {
+	durs := uniformDurs(4, time.Second)
+	durs[2] = 5 * time.Second
+	tls := map[flow.Addr]*timeline.Timeline{1: makeTimeline(1, durs, nil)}
+	if alerts := CrossStep(tls, Config{MinSamples: 10}); len(alerts) != 0 {
+		t.Error("too few samples should suppress alerts")
+	}
+}
+
+func TestCrossGroupFlagsSlowGroup(t *testing.T) {
+	// 8 groups of one rank each; group 5's DP segments are 4x longer.
+	tls := make(map[flow.Addr]*timeline.Timeline)
+	var groups [][]flow.Addr
+	for g := 0; g < 8; g++ {
+		rank := flow.Addr(g + 1)
+		dp := uniformDurs(10, 50*time.Millisecond)
+		if g == 5 {
+			dp = uniformDurs(10, 200*time.Millisecond)
+		}
+		tls[rank] = makeTimeline(rank, uniformDurs(10, time.Second), dp)
+		groups = append(groups, []flow.Addr{rank})
+	}
+	alerts := CrossGroup(tls, groups, Config{})
+	if len(alerts) == 0 {
+		t.Fatal("slow group not flagged")
+	}
+	for _, a := range alerts {
+		if a.Kind != AlertCrossGroup || a.Group != 5 {
+			t.Errorf("unexpected alert %+v", a)
+		}
+	}
+}
+
+func TestCrossGroupNeedsEnoughGroups(t *testing.T) {
+	tls := map[flow.Addr]*timeline.Timeline{
+		1: makeTimeline(1, uniformDurs(10, time.Second), nil),
+		2: makeTimeline(2, uniformDurs(10, time.Second), uniformDurs(10, time.Second)),
+	}
+	groups := [][]flow.Addr{{1}, {2}}
+	if alerts := CrossGroup(tls, groups, Config{}); len(alerts) != 0 {
+		t.Error("two groups are below MinSamples; no alerts expected")
+	}
+}
+
+func dpRecord(id uint64, at time.Duration, gbps float64, switches ...flow.SwitchID) flow.Record {
+	dur := time.Second
+	bytes := int64(gbps * 1e9 / 8 * dur.Seconds())
+	return flow.Record{
+		ID: id, Start: epoch.Add(at), Duration: dur,
+		Src: 1, Dst: 2, Bytes: bytes, Switches: switches,
+	}
+}
+
+func dpTypes() map[flow.Pair]parallel.Type {
+	return map[flow.Pair]parallel.Type{flow.MakePair(1, 2): parallel.TypeDP}
+}
+
+func TestSwitchSeriesAggregation(t *testing.T) {
+	records := []flow.Record{
+		dpRecord(1, 0, 100, 3),
+		dpRecord(2, 10*time.Second, 120, 3),
+		dpRecord(3, 70*time.Second, 80, 3),
+		dpRecord(4, 0, 100, 4),
+	}
+	series := SwitchSeries(records, dpTypes(), Config{Bucket: time.Minute})
+	if len(series) != 2 {
+		t.Fatalf("series switches = %d, want 2", len(series))
+	}
+	s3 := series[3]
+	if len(s3) != 2 {
+		t.Fatalf("switch 3 buckets = %d, want 2", len(s3))
+	}
+	if s3[0].Flows != 2 || s3[0].MeanGbps < 109 || s3[0].MeanGbps > 111 {
+		t.Errorf("bucket 0 = %+v, want 2 flows at ≈ 110 Gb/s", s3[0])
+	}
+	if s3[1].Flows != 1 || s3[1].MeanGbps < 79 || s3[1].MeanGbps > 81 {
+		t.Errorf("bucket 1 = %+v, want 1 flow at ≈ 80 Gb/s", s3[1])
+	}
+}
+
+func TestSwitchSeriesIgnoresPP(t *testing.T) {
+	records := []flow.Record{dpRecord(1, 0, 100, 3)}
+	types := map[flow.Pair]parallel.Type{flow.MakePair(1, 2): parallel.TypePP}
+	if got := SwitchSeries(records, types, Config{}); len(got) != 0 {
+		t.Error("PP flows must not enter switch series")
+	}
+}
+
+func TestSwitchDiagnoseFlagsDegradedSwitch(t *testing.T) {
+	// 8 switches at ~150 Gb/s, switch 7 at 40 Gb/s.
+	var records []flow.Record
+	id := uint64(0)
+	for sw := flow.SwitchID(0); sw < 8; sw++ {
+		gbps := 150.0
+		if sw == 7 {
+			gbps = 40
+		}
+		for k := 0; k < 5; k++ {
+			id++
+			records = append(records, dpRecord(id, time.Duration(k)*time.Second, gbps+float64(k), sw))
+		}
+	}
+	series := SwitchSeries(records, dpTypes(), Config{})
+	alerts := SwitchDiagnose(series, Config{})
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].Kind != AlertSwitchBandwidth || alerts[0].Switch != 7 {
+		t.Errorf("alert = %+v, want switch-bandwidth on switch 7", alerts[0])
+	}
+}
+
+func TestSwitchDiagnoseFlowCountLimit(t *testing.T) {
+	var records []flow.Record
+	for i := 0; i < 20; i++ {
+		records = append(records, dpRecord(uint64(i+1), time.Duration(i)*time.Second, 100, 1))
+	}
+	series := SwitchSeries(records, dpTypes(), Config{})
+	alerts := SwitchDiagnose(series, Config{MaxConcurrentDPFlows: 10})
+	found := false
+	for _, a := range alerts {
+		if a.Kind == AlertSwitchFlowCount && a.Switch == 1 && a.Value == 20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flow-count limit not flagged: %+v", alerts)
+	}
+}
+
+func TestSwitchDiagnoseNeedsPopulation(t *testing.T) {
+	records := []flow.Record{dpRecord(1, 0, 10, 1), dpRecord(2, 0, 150, 2)}
+	series := SwitchSeries(records, dpTypes(), Config{})
+	if alerts := SwitchDiagnose(series, Config{}); len(alerts) != 0 {
+		t.Error("two switches are below MinSamples; no alerts expected")
+	}
+}
+
+func TestKSigmaOutlierLOO(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1, 1.05, 0.95, 5}
+	if bad, _ := kSigmaOutlierLOO(xs, 6, 3, +1); !bad {
+		t.Error("obvious upper outlier not detected")
+	}
+	if bad, _ := kSigmaOutlierLOO(xs, 0, 3, +1); bad {
+		t.Error("normal point flagged")
+	}
+	low := []float64{100, 101, 99, 100, 102, 98, 20}
+	if bad, _ := kSigmaOutlierLOO(low, 6, 3, -1); !bad {
+		t.Error("obvious lower outlier not detected")
+	}
+	// Zero-variance population: any deviation is an outlier.
+	flat := []float64{1, 1, 1, 1, 2}
+	if bad, _ := kSigmaOutlierLOO(flat, 4, 3, +1); !bad {
+		t.Error("outlier against zero-variance population not detected")
+	}
+}
+
+func TestAlertKindString(t *testing.T) {
+	kinds := map[AlertKind]string{
+		AlertCrossStep:       "cross-step",
+		AlertCrossGroup:      "cross-group",
+		AlertSwitchFlowCount: "switch-flow-count",
+		AlertSwitchBandwidth: "switch-bandwidth",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if AlertKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func BenchmarkSwitchSeries(b *testing.B) {
+	var records []flow.Record
+	for i := 0; i < 50_000; i++ {
+		records = append(records, dpRecord(uint64(i), time.Duration(i)*time.Millisecond, 100,
+			flow.SwitchID(i%24), flow.SwitchID(24+i%8), flow.SwitchID((i+7)%24)))
+	}
+	types := dpTypes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SwitchSeries(records, types, Config{})
+	}
+}

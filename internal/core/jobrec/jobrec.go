@@ -1,0 +1,162 @@
+// Package jobrec implements LLM training job recognition (Algorithm 1 of
+// the LLMPrism paper): starting from a black-box view of tens of thousands
+// of GPUs, it clusters NIC endpoints that exchange network flows into
+// cross-machine clusters with a disjoint-set union, then merges clusters
+// whose physical server sets are identical (Jaccard similarity 1) —
+// tensor-parallel traffic never crosses the fabric, so the several NIC
+// rails of one job appear as separate cross-machine clusters that only the
+// topology can reunite.
+package jobrec
+
+import (
+	"sort"
+
+	"github.com/llmprism/llmprism/internal/dsu"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stats"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+// ServerMapper resolves a NIC endpoint to its physical server — the only
+// topology knowledge the provider needs (and has).
+type ServerMapper interface {
+	NodeOf(flow.Addr) topology.NodeID
+}
+
+// Cluster is one recognized training job.
+type Cluster struct {
+	// Endpoints are the member NICs/GPUs, sorted.
+	Endpoints []flow.Addr
+	// Servers is the deduplicated sorted server set of the endpoints.
+	Servers []topology.NodeID
+}
+
+// Config tunes recognition.
+type Config struct {
+	// MergeJaccard is the server-set similarity at or above which two
+	// cross-machine clusters are merged. The paper uses exactly 1
+	// (identical sets); values below 1 tolerate partially-observed rails.
+	// Default 1.
+	MergeJaccard float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MergeJaccard <= 0 || c.MergeJaccard > 1 {
+		c.MergeJaccard = 1
+	}
+	return c
+}
+
+// CrossMachineClusters returns the phase-1 clusters: endpoints connected by
+// observed flows, before the topology merge. Cluster and member order is
+// deterministic (sorted by smallest endpoint).
+func CrossMachineClusters(records []flow.Record) [][]flow.Addr {
+	u := dsu.NewSparse[flow.Addr]()
+	for _, r := range records {
+		if r.Src == r.Dst {
+			continue
+		}
+		u.Union(r.Src, r.Dst)
+	}
+	clusters := u.Groups()
+	for _, c := range clusters {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}
+
+// Recognize runs the full Algorithm 1: cross-machine clustering followed by
+// the topology-based server-set merge, yielding job-level clusters.
+func Recognize(records []flow.Record, mapper ServerMapper, cfg Config) []Cluster {
+	cfg = cfg.withDefaults()
+	raw := CrossMachineClusters(records)
+
+	servers := make([][]topology.NodeID, len(raw))
+	for i, members := range raw {
+		servers[i] = serverSet(members, mapper)
+	}
+
+	// Merge clusters with sufficiently similar server sets. For the
+	// default threshold of 1 this is an exact-set grouping; below 1 it is
+	// a transitive pairwise merge.
+	merge := dsu.New(len(raw))
+	if cfg.MergeJaccard == 1 {
+		byKey := make(map[string]int)
+		for i, set := range servers {
+			key := fingerprint(set)
+			if j, ok := byKey[key]; ok {
+				merge.Union(i, j)
+			} else {
+				byKey[key] = i
+			}
+		}
+	} else {
+		for i := 0; i < len(raw); i++ {
+			for j := i + 1; j < len(raw); j++ {
+				if stats.Jaccard(servers[i], servers[j]) >= cfg.MergeJaccard {
+					merge.Union(i, j)
+				}
+			}
+		}
+	}
+
+	byRoot := make(map[int][]int)
+	for i := range raw {
+		r := merge.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	clusters := make([]Cluster, 0, len(byRoot))
+	for _, members := range byRoot {
+		var c Cluster
+		for _, i := range members {
+			c.Endpoints = append(c.Endpoints, raw[i]...)
+		}
+		sort.Slice(c.Endpoints, func(i, j int) bool { return c.Endpoints[i] < c.Endpoints[j] })
+		c.Servers = serverSet(c.Endpoints, mapper)
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Endpoints[0] < clusters[j].Endpoints[0] })
+	return clusters
+}
+
+// SplitRecords partitions records by recognized cluster, dropping records
+// whose endpoints belong to no cluster. The i-th result slice corresponds
+// to clusters[i].
+func SplitRecords(records []flow.Record, clusters []Cluster) [][]flow.Record {
+	owner := make(map[flow.Addr]int)
+	for i, c := range clusters {
+		for _, a := range c.Endpoints {
+			owner[a] = i + 1
+		}
+	}
+	out := make([][]flow.Record, len(clusters))
+	for _, r := range records {
+		if i := owner[r.Src]; i > 0 && owner[r.Dst] == i {
+			out[i-1] = append(out[i-1], r)
+		}
+	}
+	return out
+}
+
+func serverSet(addrs []flow.Addr, mapper ServerMapper) []topology.NodeID {
+	seen := make(map[topology.NodeID]struct{}, len(addrs))
+	for _, a := range addrs {
+		seen[mapper.NodeOf(a)] = struct{}{}
+	}
+	out := make([]topology.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// fingerprint encodes a sorted server set as a compact map key.
+func fingerprint(set []topology.NodeID) string {
+	buf := make([]byte, 0, len(set)*4)
+	for _, n := range set {
+		buf = append(buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	return string(buf)
+}

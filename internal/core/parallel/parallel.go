@@ -1,0 +1,189 @@
+// Package parallel implements communication-type identification
+// (Algorithm 2 of the LLMPrism paper): within one recognized job, every
+// communicating endpoint pair is classified as pipeline-parallel (PP) or
+// data-parallel (DP).
+//
+// The signal is the per-step distinct-flow-size count: PP pairs carry one
+// fixed-size activation/gradient message shape, while DP collectives split
+// into bucketed chunk streams with several distinct sizes. Steps are
+// delimited with Bayesian online change-point detection over inter-flow
+// gaps, the per-step counts are reduced with a mode to resist noise, and a
+// final transitive-closure pass over the DP graph repairs DP pairs that
+// noise made look like PP (if u–v and v–w are DP, u and w are in one DP
+// group, so any observed u–w traffic is DP).
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/bocd"
+	"github.com/llmprism/llmprism/internal/dsu"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stats"
+)
+
+// Type is the inferred communication type of a pair.
+type Type uint8
+
+// Communication types.
+const (
+	TypePP Type = iota + 1
+	TypeDP
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypePP:
+		return "PP"
+	case TypeDP:
+		return "DP"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Config tunes identification.
+type Config struct {
+	// Split configures step division over each pair's flow sequence.
+	Split bocd.SplitConfig
+	// DisableRefinement skips the DP transitive-closure pass — the
+	// "LLMPrism w/o refinement" baseline of Table I.
+	DisableRefinement bool
+	// MinFlows is the minimum number of flows a pair needs to be
+	// classified at all. Default 2.
+	MinFlows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinFlows <= 0 {
+		c.MinFlows = 2
+	}
+	return c
+}
+
+// Classification is the result of identification over one job.
+type Classification struct {
+	// Types maps every classified pair to its inferred type.
+	Types map[flow.Pair]Type
+	// DPGroups are the connected components of the DP graph after
+	// refinement — each is one data-parallel group (per pipeline stage
+	// and NIC rail), sorted for determinism.
+	DPGroups [][]flow.Addr
+	// StepsPerPair reports how many steps the splitter found per pair
+	// (diagnostic; short windows yield few steps and noisier modes).
+	StepsPerPair map[flow.Pair]int
+}
+
+// Identify classifies every communicating pair within one job's records.
+// Records must be sorted by start time.
+func Identify(records []flow.Record, cfg Config) Classification {
+	cfg = cfg.withDefaults()
+	byPair := flow.GroupByPair(records)
+	out := Classification{
+		Types:        make(map[flow.Pair]Type, len(byPair)),
+		StepsPerPair: make(map[flow.Pair]int, len(byPair)),
+	}
+
+	// Deterministic pair order.
+	pairs := make([]flow.Pair, 0, len(byPair))
+	for p := range byPair {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+
+	for _, p := range pairs {
+		recs := byPair[p]
+		if len(recs) < cfg.MinFlows {
+			continue
+		}
+		t, steps := classifyPair(recs, cfg)
+		out.Types[p] = t
+		out.StepsPerPair[p] = steps
+	}
+
+	if !cfg.DisableRefinement {
+		refine(&out)
+	}
+	out.DPGroups = dpComponents(out.Types)
+	return out
+}
+
+// classifyPair divides one pair's flows into steps and applies the
+// distinct-size mode rule.
+func classifyPair(recs []flow.Record, cfg Config) (Type, int) {
+	times := make([]time.Time, len(recs))
+	for i, r := range recs {
+		times[i] = r.Start
+	}
+	segments := bocd.SplitTimes(times, cfg.Split)
+
+	counts := make([]int, 0, len(segments))
+	for _, seg := range segments {
+		sizes := make([]int64, 0, seg.Len())
+		for i := seg.Lo; i < seg.Hi; i++ {
+			sizes = append(sizes, recs[i].Bytes)
+		}
+		counts = append(counts, stats.DistinctCount(sizes))
+	}
+	mode, _ := stats.Mode(counts)
+	if mode == 1 {
+		return TypePP, len(segments)
+	}
+	return TypeDP, len(segments)
+}
+
+// refine applies the DP transitivity rule: every pair whose endpoints land
+// in the same connected component of the DP graph must itself be DP.
+func refine(c *Classification) {
+	comp := dsu.NewSparse[flow.Addr]()
+	for p, t := range c.Types {
+		if t == TypeDP {
+			comp.Union(p.A, p.B)
+		}
+	}
+	for p, t := range c.Types {
+		if t == TypePP && comp.Same(p.A, p.B) {
+			c.Types[p] = TypeDP
+		}
+	}
+}
+
+// dpComponents extracts the connected components of the (final) DP graph.
+func dpComponents(types map[flow.Pair]Type) [][]flow.Addr {
+	comp := dsu.NewSparse[flow.Addr]()
+	for p, t := range types {
+		if t == TypeDP {
+			comp.Union(p.A, p.B)
+		}
+	}
+	groups := comp.Groups()
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i]) == 0 || len(groups[j]) == 0 {
+			return len(groups[j]) == 0
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	return groups
+}
+
+// DPRecords filters a job's records to those between DP-classified pairs.
+// Records must be sorted; order is preserved.
+func DPRecords(records []flow.Record, types map[flow.Pair]Type) []flow.Record {
+	out := make([]flow.Record, 0, len(records))
+	for _, r := range records {
+		if types[r.Pair()] == TypeDP {
+			out = append(out, r)
+		}
+	}
+	return out
+}

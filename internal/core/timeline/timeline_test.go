@@ -1,0 +1,201 @@
+package timeline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+var epoch = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// jobTrace builds a synthetic 2-rank job: rank 1 exchanges DP bursts with
+// rank 2 every stepGap, plus PP flows from rank 0 to rank 1 between bursts.
+func jobTrace(nSteps int, stepGap, dpLen time.Duration) ([]flow.Record, map[flow.Pair]parallel.Type) {
+	var records []flow.Record
+	id := uint64(0)
+	for s := 0; s < nSteps; s++ {
+		stepStart := epoch.Add(time.Duration(s) * stepGap)
+		// PP flows during the "compute" phase.
+		for i := 0; i < 4; i++ {
+			id++
+			records = append(records, flow.Record{
+				ID:       id,
+				Start:    stepStart.Add(time.Duration(i+1) * stepGap / 8),
+				Duration: 5 * time.Millisecond,
+				Src:      0,
+				Dst:      1,
+				Bytes:    1 << 20,
+			})
+		}
+		// DP burst at the end of the step.
+		dpStart := stepStart.Add(stepGap - dpLen)
+		for i := 0; i < 6; i++ {
+			id++
+			size := int64(1 << 22)
+			if i%3 == 2 {
+				size = 1 << 20
+			}
+			records = append(records, flow.Record{
+				ID:       id,
+				Start:    dpStart.Add(time.Duration(i) * dpLen / 8),
+				Duration: dpLen / 8,
+				Src:      1,
+				Dst:      2,
+				Bytes:    size,
+			})
+		}
+	}
+	flow.SortByStart(records)
+	types := map[flow.Pair]parallel.Type{
+		flow.MakePair(0, 1): parallel.TypePP,
+		flow.MakePair(1, 2): parallel.TypeDP,
+	}
+	return records, types
+}
+
+func TestReconstructStepCount(t *testing.T) {
+	records, types := jobTrace(8, time.Second, 100*time.Millisecond)
+	tls := Reconstruct(records, types, Config{})
+	tl := tls[1]
+	if tl == nil {
+		t.Fatal("no timeline for rank 1")
+	}
+	if len(tl.Steps) != 8 {
+		t.Fatalf("steps = %d, want 8", len(tl.Steps))
+	}
+	for i, s := range tl.Steps {
+		if s.Index != i {
+			t.Errorf("step %d has index %d", i, s.Index)
+		}
+		if !s.DPEnd.After(s.DPStart) {
+			t.Errorf("step %d DP segment empty", i)
+		}
+		if s.End != s.DPEnd {
+			t.Errorf("step %d End %v != DPEnd %v", i, s.End, s.DPEnd)
+		}
+		if i > 0 && s.Start != tl.Steps[i-1].End {
+			t.Errorf("step %d not contiguous", i)
+		}
+	}
+}
+
+func TestReconstructStepEndAccuracy(t *testing.T) {
+	const stepGap = time.Second
+	const dpLen = 100 * time.Millisecond
+	records, types := jobTrace(6, stepGap, dpLen)
+	tls := Reconstruct(records, types, Config{})
+	tl := tls[1]
+	// True step ends: stepStart + stepGap - dpLen + 5/8·dpLen + dpLen/8
+	// (last DP flow start + its duration).
+	for i, s := range tl.Steps {
+		wantEnd := epoch.Add(time.Duration(i)*stepGap + stepGap - dpLen + 5*dpLen/8 + dpLen/8)
+		if diff := s.End.Sub(wantEnd); diff < -time.Millisecond || diff > time.Millisecond {
+			t.Errorf("step %d end off by %v", i, diff)
+		}
+	}
+}
+
+func TestReconstructEventKinds(t *testing.T) {
+	records, types := jobTrace(4, time.Second, 100*time.Millisecond)
+	tls := Reconstruct(records, types, Config{})
+	tl := tls[1]
+	var pp, dp int
+	for _, e := range tl.Events {
+		switch e.Kind {
+		case EventPP:
+			pp++
+			if e.Peer != 0 {
+				t.Errorf("PP event peer = %v, want 0", e.Peer)
+			}
+		case EventDP:
+			dp++
+			if e.Peer != 2 {
+				t.Errorf("DP event peer = %v, want 2", e.Peer)
+			}
+		}
+	}
+	if pp != 16 || dp != 24 {
+		t.Errorf("events PP/DP = %d/%d, want 16/24", pp, dp)
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Start.Before(tl.Events[i-1].Start) {
+			t.Fatal("events not chronological")
+		}
+	}
+}
+
+func TestRankWithoutDPHasNoSteps(t *testing.T) {
+	records, types := jobTrace(4, time.Second, 100*time.Millisecond)
+	tls := Reconstruct(records, types, Config{})
+	tl := tls[0] // rank 0 only has PP traffic
+	if tl == nil {
+		t.Fatal("rank 0 should still get a timeline")
+	}
+	if len(tl.Steps) != 0 {
+		t.Errorf("rank without DP flows got %d steps", len(tl.Steps))
+	}
+	if len(tl.Events) == 0 {
+		t.Error("rank 0 should have PP events")
+	}
+}
+
+func TestMinDPFlowsRespected(t *testing.T) {
+	records := []flow.Record{
+		{ID: 1, Start: epoch, Src: 1, Dst: 2, Bytes: 100},
+		{ID: 2, Start: epoch.Add(time.Second), Src: 1, Dst: 2, Bytes: 200},
+	}
+	types := map[flow.Pair]parallel.Type{flow.MakePair(1, 2): parallel.TypeDP}
+	tls := Reconstruct(records, types, Config{MinDPFlows: 4})
+	if len(tls[1].Steps) != 0 {
+		t.Error("below MinDPFlows should not reconstruct steps")
+	}
+}
+
+func TestStepEndsAndAllStepEnds(t *testing.T) {
+	records, types := jobTrace(5, time.Second, 100*time.Millisecond)
+	tls := Reconstruct(records, types, Config{})
+	ends := StepEnds(tls[1], epoch)
+	if len(ends) != 5 {
+		t.Fatalf("StepEnds = %d entries, want 5", len(ends))
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatal("step ends not increasing")
+		}
+	}
+	all := AllStepEnds(tls, epoch)
+	if len(all[1]) != 5 {
+		t.Errorf("AllStepEnds missing rank 1")
+	}
+	if _, ok := all[0]; ok {
+		t.Error("AllStepEnds should omit ranks without steps")
+	}
+}
+
+func TestMeanStepDuration(t *testing.T) {
+	records, types := jobTrace(6, time.Second, 100*time.Millisecond)
+	tls := Reconstruct(records, types, Config{})
+	mean := MeanStepDuration(tls[1])
+	if mean < 900*time.Millisecond || mean > 1100*time.Millisecond {
+		t.Errorf("mean step duration = %v, want ≈ 1s", mean)
+	}
+	if MeanStepDuration(&Timeline{}) != 0 {
+		t.Error("empty timeline should have 0 mean duration")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventPP.String() != "PP" || EventDP.String() != "DP" {
+		t.Error("EventKind.String labels wrong")
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	records, types := jobTrace(30, time.Second, 100*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reconstruct(records, types, Config{})
+	}
+}

@@ -1,0 +1,92 @@
+package erspan
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/netsim"
+)
+
+// chunk builds one chunk transmission of a chain.
+func chunk(src, dst flow.Addr, bytes int64, start, end time.Duration) netsim.Completion {
+	return netsim.Completion{
+		Src: src, Dst: dst, Bytes: bytes,
+		Start: start, End: end,
+		Switches: []flow.SwitchID{1, 5, 2},
+	}
+}
+
+func TestAggregateMergesChunkStream(t *testing.T) {
+	c := New(epoch, Config{AggregateGap: 2 * time.Millisecond})
+	// Four back-to-back chunks of one chain: one record.
+	cursor := time.Duration(0)
+	for i := 0; i < 4; i++ {
+		c.Observe(chunk(1, 2, 1000, cursor, cursor+5*time.Millisecond))
+		cursor += 5 * time.Millisecond
+	}
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1 aggregated record", len(recs))
+	}
+	r := recs[0]
+	if r.Bytes != 4000 {
+		t.Errorf("aggregated bytes = %d, want 4000", r.Bytes)
+	}
+	if r.Duration != 20*time.Millisecond {
+		t.Errorf("aggregated duration = %v, want 20ms", r.Duration)
+	}
+}
+
+func TestAggregateSplitsOnLargeGap(t *testing.T) {
+	c := New(epoch, Config{AggregateGap: 2 * time.Millisecond})
+	c.Observe(chunk(1, 2, 1000, 0, 5*time.Millisecond))
+	// 25ms gap (an optimizer pause): a separate record.
+	c.Observe(chunk(1, 2, 2000, 30*time.Millisecond, 35*time.Millisecond))
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Bytes != 1000 || recs[1].Bytes != 2000 {
+		t.Errorf("record bytes = %d,%d want 1000,2000", recs[0].Bytes, recs[1].Bytes)
+	}
+}
+
+func TestAggregateKeysOnPairAndPath(t *testing.T) {
+	c := New(epoch, Config{AggregateGap: 2 * time.Millisecond})
+	c.Observe(chunk(1, 2, 1000, 0, time.Millisecond))
+	// Same pair, different path (different ECMP label): no merge.
+	other := chunk(1, 2, 1000, time.Millisecond, 2*time.Millisecond)
+	other.Switches = []flow.SwitchID{1, 6, 2}
+	c.Observe(other)
+	// Different pair: no merge.
+	c.Observe(chunk(3, 4, 1000, time.Millisecond, 2*time.Millisecond))
+	if recs := c.Records(); len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (no cross-stream merge)", len(recs))
+	}
+}
+
+func TestAggregateLossDropsWholeRecords(t *testing.T) {
+	// With aggregation, loss applies to assembled records: a dropped
+	// record removes the whole phase, never a chunk out of the middle.
+	c := New(epoch, Config{AggregateGap: 2 * time.Millisecond, LossProb: 1})
+	for i := 0; i < 4; i++ {
+		at := time.Duration(i) * 5 * time.Millisecond
+		c.Observe(chunk(1, 2, 1000, at, at+5*time.Millisecond))
+	}
+	if recs := c.Records(); len(recs) != 0 {
+		t.Fatalf("records = %d, want 0 with certain loss", len(recs))
+	}
+	if c.Lost() != 1 {
+		t.Errorf("Lost = %d, want 1 (one aggregated record)", c.Lost())
+	}
+}
+
+func TestAggregateDisabledByDefault(t *testing.T) {
+	c := New(epoch, Config{})
+	c.Observe(chunk(1, 2, 1000, 0, time.Millisecond))
+	c.Observe(chunk(1, 2, 1000, time.Millisecond, 2*time.Millisecond))
+	if recs := c.Records(); len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 without aggregation", len(recs))
+	}
+}

@@ -1,0 +1,212 @@
+// Package erspan models the switch-level flow collection pipeline
+// (ERSPAN-style port mirroring plus a netflow aggregation server, §II-B of
+// the paper). It converts simulated network transmissions into the flow
+// records the LLMPrism analysis consumes, injecting the collection
+// imperfections that production systems exhibit: lost records, duplicated
+// records from retransmission, timestamp jitter, and active-timeout record
+// splitting. Intra-node (NVLink) traffic never reaches a switch and is
+// silently invisible, exactly as in production.
+package erspan
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/netsim"
+)
+
+// Config parameterizes collection noise. The zero value collects perfectly.
+type Config struct {
+	// LossProb is the probability a flow record is lost entirely
+	// (mirroring drop or collector overload).
+	LossProb float64
+	// DuplicateProb is the probability a record is exported twice
+	// (retransmitted export datagrams).
+	DuplicateProb float64
+	// TimeJitter is the standard deviation of collector timestamp noise.
+	TimeJitter time.Duration
+	// ActiveTimeout splits flows longer than this into multiple records,
+	// as netflow-style exporters do. Zero disables splitting.
+	ActiveTimeout time.Duration
+	// AggregateGap merges back-to-back transmissions of the same endpoint
+	// pair and switch path into one flow record when the idle gap between
+	// them is below this value — how real collectors see a queue pair's
+	// chunk stream (one record per collective phase, not one per chunk).
+	// Zero disables aggregation. Loss applies to aggregated records
+	// (export datagrams carry whole records).
+	AggregateGap time.Duration
+	// Seed drives the noise randomness.
+	Seed int64
+}
+
+// pendingKey identifies an aggregation stream: endpoint pair + path.
+type pendingKey struct {
+	src, dst flow.Addr
+	path     uint64
+}
+
+// pending is a flow record being assembled from consecutive transmissions.
+type pending struct {
+	start, end time.Duration
+	bytes      int64
+	switches   []flow.SwitchID
+}
+
+// Collector accumulates flow records from network completions.
+type Collector struct {
+	cfg    Config
+	epoch  time.Time
+	rng    *rand.Rand
+	nextID uint64
+	recs   []flow.Record
+	agg    map[pendingKey]*pending
+
+	observed uint64
+	lost     uint64
+}
+
+// New returns a Collector anchoring sim-time offsets at epoch.
+func New(epoch time.Time, cfg Config) *Collector {
+	return &Collector{
+		cfg:   cfg,
+		epoch: epoch,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x3ade68b1)),
+		agg:   make(map[pendingKey]*pending),
+	}
+}
+
+// Observe ingests one completed transmission.
+func (c *Collector) Observe(comp netsim.Completion) {
+	if comp.IntraNode {
+		return // invisible to switches
+	}
+	c.observed++
+	if c.cfg.AggregateGap <= 0 {
+		c.export(comp.Src, comp.Dst, comp.Switches, comp.Start, comp.End, comp.Bytes)
+		return
+	}
+	key := pendingKey{src: comp.Src, dst: comp.Dst, path: pathKey(comp.Switches)}
+	p, ok := c.agg[key]
+	if ok && comp.Start-p.end <= c.cfg.AggregateGap {
+		p.bytes += comp.Bytes
+		if comp.End > p.end {
+			p.end = comp.End
+		}
+		return
+	}
+	if ok {
+		c.export(comp.Src, comp.Dst, p.switches, p.start, p.end, p.bytes)
+	}
+	switches := make([]flow.SwitchID, len(comp.Switches))
+	copy(switches, comp.Switches)
+	c.agg[key] = &pending{
+		start: comp.Start, end: comp.End,
+		bytes: comp.Bytes, switches: switches,
+	}
+}
+
+func pathKey(switches []flow.SwitchID) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, s := range switches {
+		h = (h ^ uint64(uint32(s))) * prime
+	}
+	return h
+}
+
+// export runs the per-record noise pipeline (loss, splitting, duplication)
+// on one assembled flow record.
+func (c *Collector) export(src, dst flow.Addr, switches []flow.SwitchID, start, end time.Duration, bytes int64) {
+	if c.cfg.LossProb > 0 && c.rng.Float64() < c.cfg.LossProb {
+		c.lost++
+		return
+	}
+	comp := netsim.Completion{Src: src, Dst: dst, Switches: switches, Bytes: bytes}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	if c.cfg.ActiveTimeout > 0 && dur > c.cfg.ActiveTimeout {
+		c.emitSplit(comp, start, dur)
+	} else {
+		c.emit(comp, start, dur, bytes)
+	}
+	if c.cfg.DuplicateProb > 0 && c.rng.Float64() < c.cfg.DuplicateProb {
+		c.emit(comp, start, dur, bytes)
+	}
+}
+
+// emitSplit exports a long flow as consecutive records of at most
+// ActiveTimeout each, with proportional byte counts.
+func (c *Collector) emitSplit(comp netsim.Completion, start, dur time.Duration) {
+	timeout := c.cfg.ActiveTimeout
+	remainingBytes := comp.Bytes
+	for off := time.Duration(0); off < dur; off += timeout {
+		sliceDur := timeout
+		if off+sliceDur > dur {
+			sliceDur = dur - off
+		}
+		sliceBytes := int64(float64(comp.Bytes) * float64(sliceDur) / float64(dur))
+		if off+timeout >= dur {
+			sliceBytes = remainingBytes // last slice takes the remainder
+		}
+		remainingBytes -= sliceBytes
+		c.emit(comp, start+off, sliceDur, sliceBytes)
+	}
+}
+
+func (c *Collector) emit(comp netsim.Completion, start, dur time.Duration, bytes int64) {
+	if c.cfg.TimeJitter > 0 {
+		start += time.Duration(c.rng.NormFloat64() * float64(c.cfg.TimeJitter))
+		if start < 0 {
+			start = 0
+		}
+	}
+	c.nextID++
+	switches := make([]flow.SwitchID, len(comp.Switches))
+	copy(switches, comp.Switches)
+	c.recs = append(c.recs, flow.Record{
+		ID:       c.nextID,
+		Start:    c.epoch.Add(start),
+		Duration: dur,
+		Src:      comp.Src,
+		Dst:      comp.Dst,
+		Bytes:    bytes,
+		Switches: switches,
+	})
+}
+
+// Records flushes any pending aggregations and returns the collected
+// records sorted by start time.
+func (c *Collector) Records() []flow.Record {
+	// Deterministic flush order.
+	keys := make([]pendingKey, 0, len(c.agg))
+	for k := range c.agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].path < keys[j].path
+	})
+	for _, k := range keys {
+		p := c.agg[k]
+		c.export(k.src, k.dst, p.switches, p.start, p.end, p.bytes)
+		delete(c.agg, k)
+	}
+	flow.SortByStart(c.recs)
+	return c.recs
+}
+
+// Observed returns how many fabric flows reached the collector
+// (pre-noise, excluding intra-node traffic).
+func (c *Collector) Observed() uint64 { return c.observed }
+
+// Lost returns how many records the loss model dropped.
+func (c *Collector) Lost() uint64 { return c.lost }

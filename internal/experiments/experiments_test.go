@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Small scales keep these end-to-end experiment tests fast; the paper-scale
+// numbers are produced by cmd/repro and the root benchmarks.
+
+func TestFig3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := Fig3(Options{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueJobs < 2 {
+		t.Fatalf("too few jobs simulated: %d", res.TrueJobs)
+	}
+	if !res.Recognition.Perfect() {
+		t.Errorf("recognition not perfect: %+v", res.Recognition)
+	}
+	if res.CrossMachineClusters <= res.JobClusters {
+		t.Errorf("expected more rail clusters (%d) than job clusters (%d)",
+			res.CrossMachineClusters, res.JobClusters)
+	}
+	if !strings.Contains(res.Report(), "perfect=true") {
+		t.Error("report should state perfect recognition")
+	}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	// 32 nodes → PP=4, DP=8: with DP=4 the two collective rings share the
+	// same undirected edges (stride 3 is the reverse of stride 1) and the
+	// DP graph is a bare cycle that correlated noise can disconnect — the
+	// A3 ablation's subject. DP=8 gives the refinement the density the
+	// paper's 1,024-GPU jobs have.
+	cfg := Table1Config{
+		Jobs:        2,
+		NodesPerJob: 32,
+		Windows:     []time.Duration{75 * time.Second, 150 * time.Second},
+		TargetStep:  8 * time.Second,
+	}
+	res, err := Table1(cfg, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PairsEvaluated == 0 {
+			t.Errorf("window %v evaluated no pairs", row.Window)
+		}
+		if row.AccWith < row.AccWithout-1e-9 {
+			t.Errorf("window %v: refinement hurt accuracy (%.4f < %.4f)",
+				row.Window, row.AccWith, row.AccWithout)
+		}
+		if row.AccWith < 0.93 {
+			t.Errorf("window %v: refined accuracy %.4f, want ~1", row.Window, row.AccWith)
+		}
+	}
+	if !strings.Contains(res.Report(), "LLMPrism w/o refinement") {
+		t.Error("report missing baseline row")
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := Fig4(Options{Scale: 0.15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score.MatchedSteps == 0 {
+		t.Fatal("no steps matched")
+	}
+	// At 10s steps the invisible tail is ~12ms → ~0.12% expected.
+	if res.Score.MeanRelError > 0.003 {
+		t.Errorf("mean reconstruction error %.4f%%, want <= 0.3%%", 100*res.Score.MeanRelError)
+	}
+	if res.Render == "" || !strings.Contains(res.Render, "D") {
+		t.Error("timeline render missing DP paint")
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := Fig5(Options{Scale: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectedFlagged != len(res.Injected) {
+		t.Errorf("injected flagged %d/%d; flagged set %v",
+			res.InjectedFlagged, len(res.Injected), res.Flagged)
+	}
+	if res.DegradedP90 >= res.NormalP10 {
+		t.Errorf("degraded band [%0.f, %0.f] not below healthy band [%0.f, %0.f]",
+			res.DegradedP10, res.DegradedP90, res.NormalP10, res.NormalP90)
+	}
+	if !strings.Contains(res.Report(), "per-switch mean DP bandwidth") {
+		t.Error("report missing series table")
+	}
+}
+
+func TestDiagnosisSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := Diagnosis(Options{Scale: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StragglerJobDetected {
+		t.Errorf("straggler not detected: %+v", res)
+	}
+	if !res.SlowGroupDetected {
+		t.Errorf("slow DP group not detected: %+v", res)
+	}
+}
+
+func TestAblationNetsimMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := AblationNetsimMode(Options{Scale: 0.15, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairShareError <= 0 || res.AnalyticError <= 0 {
+		t.Errorf("degenerate errors: %+v", res)
+	}
+}
+
+func TestAblationStepSplitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := AblationStepSplitter(Options{Scale: 1, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairsEvaluated == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	if res.BOCDStepCountErr > res.NaiveStepCountErr {
+		t.Errorf("BOCD (%.4f) worse than naive (%.4f)", res.BOCDStepCountErr, res.NaiveStepCountErr)
+	}
+}
+
+func TestAblationRingCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := AblationRingCount(Options{Scale: 0.5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AccWith < row.AccWithout-1e-9 {
+			t.Errorf("rings=%d: refinement hurt accuracy", row.Rings)
+		}
+	}
+}

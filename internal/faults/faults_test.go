@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		fault   Fault
+		wantErr bool
+	}{
+		{"valid switch degrade", Fault{Kind: KindSwitchDegrade, At: 0, Until: time.Minute, Factor: 0.25}, false},
+		{"valid link degrade", Fault{Kind: KindLinkDegrade, At: 0, Until: time.Minute, Factor: 0}, false},
+		{"valid slowdown", Fault{Kind: KindRankSlowdown, At: 0, Until: time.Minute, Factor: 2}, false},
+		{"empty window", Fault{Kind: KindSwitchDegrade, At: time.Minute, Until: time.Minute, Factor: 0.5}, true},
+		{"degrade factor >= 1", Fault{Kind: KindSwitchDegrade, At: 0, Until: time.Minute, Factor: 1}, true},
+		{"slowdown factor <= 1", Fault{Kind: KindRankSlowdown, At: 0, Until: time.Minute, Factor: 0.5}, true},
+		{"unknown kind", Fault{At: 0, Until: time.Minute, Factor: 0.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.fault.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{Faults: []Fault{
+		{Kind: KindSwitchDegrade, At: 0, Until: time.Minute, Factor: 0.5},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	bad := Schedule{Faults: []Fault{
+		{Kind: KindSwitchDegrade, At: 0, Until: time.Minute, Factor: 0.5},
+		{Kind: KindRankSlowdown, At: 0, Until: time.Minute, Factor: 0.5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestEventsSortedAndPaired(t *testing.T) {
+	s := Schedule{Faults: []Fault{
+		{Kind: KindSwitchDegrade, At: 10 * time.Minute, Until: 20 * time.Minute, Factor: 0.25, Switch: 3},
+		{Kind: KindRankSlowdown, At: time.Minute, Until: 5 * time.Minute, Factor: 3, Addr: 42},
+	}}
+	events := s.Events()
+	if len(events) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events not sorted: %v after %v", events[i].At, events[i-1].At)
+		}
+	}
+	if events[0].Revert || events[0].Fault.Kind != KindRankSlowdown {
+		t.Errorf("first event should be slowdown activation, got %+v", events[0])
+	}
+	if !events[3].Revert || events[3].Fault.Kind != KindSwitchDegrade {
+		t.Errorf("last event should be switch reversion, got %+v", events[3])
+	}
+}
+
+func TestEventsTieOrder(t *testing.T) {
+	// A reversion and an activation at the same instant: activation first.
+	s := Schedule{Faults: []Fault{
+		{Kind: KindSwitchDegrade, At: 0, Until: time.Minute, Factor: 0.5, Switch: 1},
+		{Kind: KindSwitchDegrade, At: time.Minute, Until: 2 * time.Minute, Factor: 0.5, Switch: 2},
+	}}
+	events := s.Events()
+	if events[1].Revert || events[1].Fault.Switch != 2 {
+		t.Errorf("activation should precede reversion on tie, got %+v", events[1])
+	}
+}
+
+func TestActiveSlowdown(t *testing.T) {
+	s := Schedule{Faults: []Fault{
+		{Kind: KindRankSlowdown, At: time.Minute, Until: 2 * time.Minute, Factor: 3, Addr: 7},
+		{Kind: KindSwitchDegrade, At: 0, Until: time.Hour, Factor: 0.5, Switch: 1},
+	}}
+	if got := s.ActiveSlowdown(7, 90*time.Second); got != 3 {
+		t.Errorf("ActiveSlowdown during window = %v, want 3", got)
+	}
+	if got := s.ActiveSlowdown(7, 3*time.Minute); got != 1 {
+		t.Errorf("ActiveSlowdown after window = %v, want 1", got)
+	}
+	if got := s.ActiveSlowdown(8, 90*time.Second); got != 1 {
+		t.Errorf("ActiveSlowdown other rank = %v, want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSwitchDegrade.String() != "switch-degrade" ||
+		KindLinkDegrade.String() != "link-degrade" ||
+		KindRankSlowdown.String() != "rank-slowdown" {
+		t.Error("Kind.String labels wrong")
+	}
+	if Kind(77).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

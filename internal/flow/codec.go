@@ -1,0 +1,223 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// csvHeader is the column layout used by WriteCSV/ReadCSV.
+var csvHeader = []string{"id", "start_unix_ns", "duration_ns", "src", "dst", "bytes", "switches"}
+
+// WriteCSV writes records in the collector CSV format:
+//
+//	id,start_unix_ns,duration_ns,src,dst,bytes,switches
+//
+// where switches is a "|"-separated list of switch ids.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("flow: write csv header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range records {
+		row[0] = strconv.FormatUint(r.ID, 10)
+		row[1] = strconv.FormatInt(r.Start.UnixNano(), 10)
+		row[2] = strconv.FormatInt(int64(r.Duration), 10)
+		row[3] = r.Src.String()
+		row[4] = r.Dst.String()
+		row[5] = strconv.FormatInt(r.Bytes, 10)
+		row[6] = joinSwitches(r.Switches)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("flow: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flow: flush csv: %w", err)
+	}
+	return nil
+}
+
+func joinSwitches(switches []SwitchID) string {
+	if len(switches) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, s := range switches {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(strconv.Itoa(int(s)))
+	}
+	return sb.String()
+}
+
+func parseSwitches(s string) ([]SwitchID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "|")
+	out := make([]SwitchID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("flow: parse switch %q: %w", p, err)
+		}
+		out[i] = SwitchID(v)
+	}
+	return out, nil
+}
+
+// ReadCSV reads records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flow: read csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("flow: unexpected csv column %d: got %q, want %q", i, header[i], col)
+		}
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flow: read csv line %d: %w", line, err)
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("flow: csv line %d: %w", line, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+func parseCSVRow(row []string) (Record, error) {
+	var rec Record
+	id, err := strconv.ParseUint(row[0], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("id: %w", err)
+	}
+	startNS, err := strconv.ParseInt(row[1], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("start: %w", err)
+	}
+	durNS, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("duration: %w", err)
+	}
+	src, err := ParseAddr(row[3])
+	if err != nil {
+		return rec, err
+	}
+	dst, err := ParseAddr(row[4])
+	if err != nil {
+		return rec, err
+	}
+	bytes, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bytes: %w", err)
+	}
+	switches, err := parseSwitches(row[6])
+	if err != nil {
+		return rec, err
+	}
+	rec = Record{
+		ID:       id,
+		Start:    time.Unix(0, startNS).UTC(),
+		Duration: time.Duration(durNS),
+		Src:      src,
+		Dst:      dst,
+		Bytes:    bytes,
+		Switches: switches,
+	}
+	return rec, nil
+}
+
+// recordJSON is the stable JSONL wire form of a Record.
+type recordJSON struct {
+	ID       uint64  `json:"id"`
+	StartNS  int64   `json:"start_unix_ns"`
+	DurNS    int64   `json:"duration_ns"`
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	Bytes    int64   `json:"bytes"`
+	Switches []int32 `json:"switches,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line for each record.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		switches := make([]int32, len(r.Switches))
+		for i, s := range r.Switches {
+			switches[i] = int32(s)
+		}
+		obj := recordJSON{
+			ID:       r.ID,
+			StartNS:  r.Start.UnixNano(),
+			DurNS:    int64(r.Duration),
+			Src:      r.Src.String(),
+			Dst:      r.Dst.String(),
+			Bytes:    r.Bytes,
+			Switches: switches,
+		}
+		if err := enc.Encode(&obj); err != nil {
+			return fmt.Errorf("flow: encode jsonl: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flow: flush jsonl: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL reads records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var records []Record
+	for line := 1; ; line++ {
+		var obj recordJSON
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("flow: decode jsonl line %d: %w", line, err)
+		}
+		src, err := ParseAddr(obj.Src)
+		if err != nil {
+			return nil, fmt.Errorf("flow: jsonl line %d: %w", line, err)
+		}
+		dst, err := ParseAddr(obj.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("flow: jsonl line %d: %w", line, err)
+		}
+		switches := make([]SwitchID, len(obj.Switches))
+		for i, s := range obj.Switches {
+			switches[i] = SwitchID(s)
+		}
+		records = append(records, Record{
+			ID:       obj.ID,
+			Start:    time.Unix(0, obj.StartNS).UTC(),
+			Duration: time.Duration(obj.DurNS),
+			Src:      src,
+			Dst:      dst,
+			Bytes:    obj.Bytes,
+			Switches: switches,
+		})
+	}
+	return records, nil
+}

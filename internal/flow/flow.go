@@ -1,0 +1,198 @@
+// Package flow defines the network flow data model consumed by the
+// LLMPrism pipeline.
+//
+// A flow record is what an ERSPAN-style switch-level collector exports:
+// start time, duration, source and destination NIC addresses, byte count
+// and the list of switches the flow traversed (§II-B of the paper). The
+// analysis side treats addresses as opaque identifiers — mapping an address
+// to its physical server is the topology's job, mirroring the provider's
+// black-box view of tenant workloads.
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Addr is an opaque NIC endpoint address on the training fabric. It renders
+// as a 10.x.y.z management address. One GPU has exactly one NIC in
+// rail-optimized RoCE fabrics, so an Addr identifies a GPU for analysis
+// purposes.
+type Addr uint32
+
+// String renders the address in dotted form, e.g. "10.0.3.5".
+func (a Addr) String() string {
+	return fmt.Sprintf("10.%d.%d.%d", (a>>16)&0xff, (a>>8)&0xff, a&0xff)
+}
+
+// ParseAddr parses the dotted form produced by Addr.String.
+func ParseAddr(s string) (Addr, error) {
+	var p0, p1, p2, p3 uint32
+	if _, err := fmt.Sscanf(s, "10.%d.%d.%d", &p1, &p2, &p3); err != nil {
+		return 0, fmt.Errorf("flow: parse addr %q: %w", s, err)
+	}
+	_ = p0
+	if p1 > 255 || p2 > 255 || p3 > 255 {
+		return 0, fmt.Errorf("flow: parse addr %q: octet out of range", s)
+	}
+	return Addr(p1<<16 | p2<<8 | p3), nil
+}
+
+// SwitchID identifies a fabric switch in collected flow records.
+type SwitchID int32
+
+// String renders the switch identifier, e.g. "sw-12".
+func (s SwitchID) String() string { return fmt.Sprintf("sw-%d", int32(s)) }
+
+// Record is one collected network flow.
+type Record struct {
+	// ID is a collector-assigned unique identifier.
+	ID uint64
+	// Start is the flow start time.
+	Start time.Time
+	// Duration is the flow duration (first to last packet).
+	Duration time.Duration
+	// Src and Dst are the endpoint NIC addresses.
+	Src, Dst Addr
+	// Bytes is the flow size in bytes.
+	Bytes int64
+	// Switches lists the switches the flow traversed, in path order.
+	Switches []SwitchID
+}
+
+// End returns the flow end time.
+func (r Record) End() time.Time { return r.Start.Add(r.Duration) }
+
+// Gbps returns the average flow bandwidth in gigabits per second
+// (0 if the duration is zero).
+func (r Record) Gbps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Duration.Seconds() / 1e9
+}
+
+// Pair returns the canonical (unordered) endpoint pair of the flow.
+func (r Record) Pair() Pair { return MakePair(r.Src, r.Dst) }
+
+// Pair is an unordered pair of endpoints with A <= B.
+type Pair struct {
+	A, B Addr
+}
+
+// MakePair returns the canonical pair for two endpoints.
+func MakePair(x, y Addr) Pair {
+	if x <= y {
+		return Pair{A: x, B: y}
+	}
+	return Pair{A: y, B: x}
+}
+
+// String renders the pair as "src<->dst".
+func (p Pair) String() string { return p.A.String() + "<->" + p.B.String() }
+
+// Other returns the endpoint of p that is not a. If a is not part of the
+// pair it returns p.A.
+func (p Pair) Other(a Addr) Addr {
+	if p.A == a {
+		return p.B
+	}
+	if p.B == a {
+		return p.A
+	}
+	return p.A
+}
+
+// Has reports whether a is one of the pair's endpoints.
+func (p Pair) Has(a Addr) bool { return p.A == a || p.B == a }
+
+// SortByStart sorts records by start time ascending (stable on ID for
+// deterministic ordering of simultaneous flows).
+func SortByStart(records []Record) {
+	sort.Slice(records, func(i, j int) bool {
+		if !records[i].Start.Equal(records[j].Start) {
+			return records[i].Start.Before(records[j].Start)
+		}
+		return records[i].ID < records[j].ID
+	})
+}
+
+// Window returns the records whose start time falls in [from, to).
+// The input must be sorted by start time; the result aliases the input.
+func Window(records []Record, from, to time.Time) []Record {
+	lo := sort.Search(len(records), func(i int) bool {
+		return !records[i].Start.Before(from)
+	})
+	hi := sort.Search(len(records), func(i int) bool {
+		return !records[i].Start.Before(to)
+	})
+	return records[lo:hi]
+}
+
+// GroupByPair buckets records by their canonical endpoint pair, preserving
+// input order inside each bucket.
+func GroupByPair(records []Record) map[Pair][]Record {
+	groups := make(map[Pair][]Record)
+	for _, r := range records {
+		p := r.Pair()
+		groups[p] = append(groups[p], r)
+	}
+	return groups
+}
+
+// Endpoints returns the distinct endpoint addresses appearing in records,
+// sorted ascending.
+func Endpoints(records []Record) []Addr {
+	seen := make(map[Addr]struct{}, len(records)*2)
+	for _, r := range records {
+		seen[r.Src] = struct{}{}
+		seen[r.Dst] = struct{}{}
+	}
+	out := make([]Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByEndpoint buckets records by endpoint: each record appears in the bucket
+// of both its source and destination. Input order is preserved per bucket.
+func ByEndpoint(records []Record) map[Addr][]Record {
+	buckets := make(map[Addr][]Record)
+	for _, r := range records {
+		buckets[r.Src] = append(buckets[r.Src], r)
+		if r.Dst != r.Src {
+			buckets[r.Dst] = append(buckets[r.Dst], r)
+		}
+	}
+	return buckets
+}
+
+// TotalBytes sums the byte counts of records.
+func TotalBytes(records []Record) int64 {
+	var total int64
+	for _, r := range records {
+		total += r.Bytes
+	}
+	return total
+}
+
+// TimeSpan returns the earliest start and latest end over records.
+// ok is false when records is empty.
+func TimeSpan(records []Record) (from, to time.Time, ok bool) {
+	if len(records) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	from, to = records[0].Start, records[0].End()
+	for _, r := range records[1:] {
+		if r.Start.Before(from) {
+			from = r.Start
+		}
+		if r.End().After(to) {
+			to = r.End()
+		}
+	}
+	return from, to, true
+}

@@ -1,0 +1,282 @@
+package flow
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(id uint64, start time.Duration, dur time.Duration, src, dst Addr, size int64, switches ...SwitchID) Record {
+	return Record{
+		ID:       id,
+		Start:    epoch.Add(start),
+		Duration: dur,
+		Src:      src,
+		Dst:      dst,
+		Bytes:    size,
+		Switches: switches,
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		want string
+	}{
+		{0, "10.0.0.0"},
+		{1, "10.0.0.1"},
+		{256, "10.0.1.0"},
+		{1<<16 + 2<<8 + 3, "10.1.2.3"},
+	}
+	for _, tt := range tests {
+		if got := tt.addr.String(); got != tt.want {
+			t.Errorf("Addr(%d).String() = %q, want %q", tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw & 0xffffff)
+		parsed, err := ParseAddr(a.String())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "nonsense", "10.300.0.1", "11.0.0.1"} {
+		if _, err := ParseAddr(s); err == nil && s != "11.0.0.1" {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	p1 := MakePair(5, 3)
+	p2 := MakePair(3, 5)
+	if p1 != p2 {
+		t.Errorf("MakePair not canonical: %v vs %v", p1, p2)
+	}
+	if p1.A != 3 || p1.B != 5 {
+		t.Errorf("MakePair order = %v, want A=3 B=5", p1)
+	}
+	if !p1.Has(3) || !p1.Has(5) || p1.Has(4) {
+		t.Error("Pair.Has results wrong")
+	}
+	if p1.Other(3) != 5 || p1.Other(5) != 3 {
+		t.Error("Pair.Other results wrong")
+	}
+}
+
+func TestRecordEndAndGbps(t *testing.T) {
+	r := rec(1, 0, time.Second, 1, 2, 12.5e9/8*1) // 12.5 GB/s over 1s = 12.5 Gb... careful
+	r.Bytes = 1250000000                          // 1.25 GB in 1 s = 10 Gb/s
+	if got := r.Gbps(); got < 9.99 || got > 10.01 {
+		t.Errorf("Gbps = %v, want 10", got)
+	}
+	if !r.End().Equal(epoch.Add(time.Second)) {
+		t.Errorf("End = %v, want %v", r.End(), epoch.Add(time.Second))
+	}
+	zero := Record{}
+	if zero.Gbps() != 0 {
+		t.Error("zero-duration flow should have 0 Gbps")
+	}
+}
+
+func TestSortByStartStable(t *testing.T) {
+	records := []Record{
+		rec(3, 2*time.Second, 0, 1, 2, 10),
+		rec(2, time.Second, 0, 1, 2, 10),
+		rec(1, time.Second, 0, 1, 2, 10),
+	}
+	SortByStart(records)
+	gotIDs := []uint64{records[0].ID, records[1].ID, records[2].ID}
+	if !reflect.DeepEqual(gotIDs, []uint64{1, 2, 3}) {
+		t.Errorf("sorted IDs = %v, want [1 2 3]", gotIDs)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	records := []Record{
+		rec(1, 0, 0, 1, 2, 10),
+		rec(2, time.Second, 0, 1, 2, 10),
+		rec(3, 2*time.Second, 0, 1, 2, 10),
+		rec(4, 3*time.Second, 0, 1, 2, 10),
+	}
+	got := Window(records, epoch.Add(time.Second), epoch.Add(3*time.Second))
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Errorf("Window returned %v, want records 2,3", got)
+	}
+	if len(Window(records, epoch.Add(10*time.Second), epoch.Add(20*time.Second))) != 0 {
+		t.Error("out-of-range window should be empty")
+	}
+}
+
+func TestGroupByPair(t *testing.T) {
+	records := []Record{
+		rec(1, 0, 0, 1, 2, 10),
+		rec(2, 0, 0, 2, 1, 20), // reverse direction, same pair
+		rec(3, 0, 0, 1, 3, 30),
+	}
+	groups := GroupByPair(records)
+	if len(groups) != 2 {
+		t.Fatalf("len(groups) = %d, want 2", len(groups))
+	}
+	if got := len(groups[MakePair(1, 2)]); got != 2 {
+		t.Errorf("pair(1,2) has %d records, want 2", got)
+	}
+}
+
+func TestEndpointsAndByEndpoint(t *testing.T) {
+	records := []Record{
+		rec(1, 0, 0, 5, 2, 10),
+		rec(2, 0, 0, 2, 9, 20),
+	}
+	eps := Endpoints(records)
+	if !reflect.DeepEqual(eps, []Addr{2, 5, 9}) {
+		t.Errorf("Endpoints = %v, want [2 5 9]", eps)
+	}
+	buckets := ByEndpoint(records)
+	if len(buckets[2]) != 2 || len(buckets[5]) != 1 || len(buckets[9]) != 1 {
+		t.Errorf("ByEndpoint bucket sizes wrong: %v", buckets)
+	}
+}
+
+func TestTotalBytesAndTimeSpan(t *testing.T) {
+	if TotalBytes(nil) != 0 {
+		t.Error("TotalBytes(nil) != 0")
+	}
+	records := []Record{
+		rec(1, time.Second, time.Second, 1, 2, 10),
+		rec(2, 0, 500*time.Millisecond, 1, 2, 20),
+	}
+	if got := TotalBytes(records); got != 30 {
+		t.Errorf("TotalBytes = %d, want 30", got)
+	}
+	from, to, ok := TimeSpan(records)
+	if !ok || !from.Equal(epoch) || !to.Equal(epoch.Add(2*time.Second)) {
+		t.Errorf("TimeSpan = %v..%v ok=%v, want %v..%v", from, to, ok, epoch, epoch.Add(2*time.Second))
+	}
+	if _, _, ok := TimeSpan(nil); ok {
+		t.Error("TimeSpan(nil) should report !ok")
+	}
+}
+
+func randomRecords(seed int64, n int) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	records := make([]Record, n)
+	for i := range records {
+		var switches []SwitchID
+		for k := 0; k < rng.Intn(4); k++ {
+			switches = append(switches, SwitchID(rng.Intn(64)))
+		}
+		records[i] = Record{
+			ID:       uint64(i + 1),
+			Start:    epoch.Add(time.Duration(rng.Int63n(int64(time.Hour)))),
+			Duration: time.Duration(rng.Int63n(int64(10 * time.Second))),
+			Src:      Addr(rng.Intn(1 << 24)),
+			Dst:      Addr(rng.Intn(1 << 24)),
+			Bytes:    rng.Int63n(1 << 32),
+			Switches: switches,
+		}
+	}
+	return records
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := randomRecords(7, 200)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip length = %d, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if !recordsEqual(got[i], records[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records := randomRecords(11, 200)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip length = %d, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if !recordsEqual(got[i], records[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.ID != b.ID || !a.Start.Equal(b.Start) || a.Duration != b.Duration ||
+		a.Src != b.Src || a.Dst != b.Dst || a.Bytes != b.Bytes ||
+		len(a.Switches) != len(b.Switches) {
+		return false
+	}
+	for i := range a.Switches {
+		if a.Switches[i] != b.Switches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b,c,d,e,f,g\n")); err == nil {
+		t.Error("ReadCSV accepted bad header")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatalf("WriteCSV(nil): %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("ReadCSV of empty body = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func BenchmarkCSVWrite(b *testing.B) {
+	records := randomRecords(3, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByPair(b *testing.B) {
+	records := randomRecords(5, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupByPair(records)
+	}
+}

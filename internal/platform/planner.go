@@ -1,0 +1,159 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/model"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/trainsim"
+)
+
+// JobPlan is a compact tenant-job request the planner expands into a full
+// trainsim.JobConfig.
+type JobPlan struct {
+	// Nodes is the number of servers the tenant rents. Must be >= 2.
+	Nodes int
+	// Model overrides the size-based default model choice.
+	Model model.Spec
+	// PP overrides the derived pipeline depth (0 = derive).
+	PP int
+	// TargetStep is the desired training-step duration (drives the
+	// micro-batch sizing). Default 10s.
+	TargetStep time.Duration
+	// Style selects DP communication. Defaults to alternating per job.
+	Style trainsim.CommStyle
+	// StyleSet marks Style as explicitly chosen.
+	StyleSet bool
+}
+
+// PlanJobs expands plans into validated job configs placed on contiguous
+// node ranges of the fabric, deterministically under seed.
+func PlanJobs(topoSpec topology.Spec, plans []JobPlan, seed int64) ([]trainsim.JobConfig, error) {
+	topo, err := topology.New(topoSpec)
+	if err != nil {
+		return nil, fmt.Errorf("platform: plan: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	gpn := topo.Spec().GPUsPerNode
+
+	var cfgs []trainsim.JobConfig
+	cursor := 0
+	for i, plan := range plans {
+		if plan.Nodes < 2 {
+			return nil, fmt.Errorf("platform: plan %d: needs >= 2 nodes, got %d", i, plan.Nodes)
+		}
+		if cursor+plan.Nodes > topo.Nodes() {
+			return nil, fmt.Errorf("platform: plan %d: fabric exhausted (%d nodes, need %d more)",
+				i, topo.Nodes(), cursor+plan.Nodes-topo.Nodes())
+		}
+		nodes := make([]topology.NodeID, plan.Nodes)
+		for k := range nodes {
+			nodes[k] = topology.NodeID(cursor + k)
+		}
+		cursor += plan.Nodes
+
+		pp := plan.PP
+		if pp <= 0 {
+			pp = derivePP(plan.Nodes)
+		}
+		if plan.Nodes%pp != 0 {
+			return nil, fmt.Errorf("platform: plan %d: PP %d does not divide %d nodes", i, pp, plan.Nodes)
+		}
+		dp := plan.Nodes / pp
+		if dp < 2 {
+			return nil, fmt.Errorf("platform: plan %d: PP %d leaves DP %d < 2", i, pp, dp)
+		}
+
+		spec := plan.Model
+		if spec.Layers == 0 {
+			spec = modelForSize(plan.Nodes)
+		}
+
+		style := plan.Style
+		if !plan.StyleSet {
+			style = trainsim.CommStyle(i % 2)
+		}
+
+		target := plan.TargetStep
+		if target <= 0 {
+			target = 10 * time.Second
+		}
+		micro := 2 * pp
+		if micro < 8 {
+			micro = 8
+		}
+		if micro > 16 {
+			micro = 16
+		}
+		mbs := deriveMicroBatchSize(spec, pp, micro, target)
+
+		cfgs = append(cfgs, trainsim.JobConfig{
+			ID:             i + 1,
+			Name:           fmt.Sprintf("job-%02d-%s", i+1, spec.Name),
+			Model:          spec,
+			TP:             gpn,
+			PP:             pp,
+			DP:             dp,
+			MicroBatches:   micro,
+			MicroBatchSize: mbs,
+			Nodes:          nodes,
+			Style:          style,
+			Seed:           seed + int64(i)*7919,
+			StartOffset:    time.Duration(rng.Int63n(int64(target))),
+		})
+	}
+	return cfgs, nil
+}
+
+// derivePP picks the deepest pipeline in {8,4,2,1} that divides the node
+// count while keeping DP >= 4 (production jobs favour wide DP, and wide DP
+// makes the multi-ring DP graph robust).
+func derivePP(nodes int) int {
+	for _, pp := range []int{8, 4, 2} {
+		if nodes%pp == 0 && nodes/pp >= 4 {
+			return pp
+		}
+	}
+	// Fall back to any divisor keeping DP >= 2.
+	for _, pp := range []int{8, 4, 2} {
+		if nodes%pp == 0 && nodes/pp >= 2 {
+			return pp
+		}
+	}
+	return 1
+}
+
+// modelForSize maps tenant scale to a model from the LLaMA family.
+func modelForSize(nodes int) model.Spec {
+	switch {
+	case nodes <= 8:
+		return model.Llama7B
+	case nodes <= 24:
+		return model.Llama13B
+	case nodes <= 64:
+		return model.Llama33B
+	default:
+		return model.Llama70B
+	}
+}
+
+// deriveMicroBatchSize sizes micro-batches so a step's compute lands near
+// the target duration: step ≈ micro × (fwd+bwd) = micro × 3 × fwd.
+func deriveMicroBatchSize(spec model.Spec, pp, micro int, target time.Duration) int {
+	// fwd seconds per unit micro-batch-size on the largest stage (stage 0),
+	// at the default effective GPU rate of trainsim.JobConfig.
+	fwdPerUnit := spec.FwdFLOPs(pp, 0, 8, 1) / 120e12
+	if fwdPerUnit <= 0 {
+		return 1
+	}
+	mbs := int(target.Seconds() / (3 * float64(micro) * fwdPerUnit))
+	if mbs < 1 {
+		mbs = 1
+	}
+	if mbs > 64 {
+		mbs = 64
+	}
+	return mbs
+}

@@ -1,0 +1,90 @@
+// Package platform assembles the full simulated multi-tenant LLM training
+// platform: it builds the fabric, places tenant jobs, co-simulates training
+// against the fluid network, collects ERSPAN-style flow records, and
+// returns them together with the ground truth. It is the synthetic stand-in
+// for the paper's production Platform-X.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/erspan"
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/netsim"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/trainsim"
+	"github.com/llmprism/llmprism/internal/truth"
+)
+
+// DefaultEpoch anchors simulation offsets to wall-clock timestamps.
+var DefaultEpoch = time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+
+// Scenario is a full platform simulation specification.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Topo describes the fabric.
+	Topo topology.Spec
+	// Jobs are the tenant training jobs.
+	Jobs []trainsim.JobConfig
+	// Faults is the injected anomaly schedule.
+	Faults faults.Schedule
+	// Net configures the network simulator.
+	Net netsim.Config
+	// Collector configures flow-collection noise.
+	Collector erspan.Config
+	// Epoch is the wall-clock anchor (DefaultEpoch if zero).
+	Epoch time.Time
+	// Horizon is the simulated duration. Required.
+	Horizon time.Duration
+}
+
+// Result is the output of one platform run.
+type Result struct {
+	Topo    *topology.Topology
+	Records []flow.Record
+	Truth   truth.Platform
+	Stats   trainsim.Stats
+	// Observed and Lost count collector activity.
+	Observed, Lost uint64
+}
+
+// Run executes the scenario.
+func Run(s Scenario) (*Result, error) {
+	if s.Horizon <= 0 {
+		return nil, fmt.Errorf("platform: scenario %q needs a positive horizon", s.Name)
+	}
+	epoch := s.Epoch
+	if epoch.IsZero() {
+		epoch = DefaultEpoch
+	}
+	topo, err := topology.New(s.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("platform: scenario %q: %w", s.Name, err)
+	}
+	coll := erspan.New(epoch, s.Collector)
+	cluster, err := trainsim.NewCluster(topo, s.Jobs, s.Faults, s.Net, coll.Observe)
+	if err != nil {
+		return nil, fmt.Errorf("platform: scenario %q: %w", s.Name, err)
+	}
+	if err := cluster.Run(s.Horizon); err != nil {
+		return nil, fmt.Errorf("platform: scenario %q: %w", s.Name, err)
+	}
+	return &Result{
+		Topo:     topo,
+		Records:  coll.Records(),
+		Truth:    cluster.Truth(epoch),
+		Stats:    cluster.Stats(),
+		Observed: coll.Observed(),
+		Lost:     coll.Lost(),
+	}, nil
+}
+
+// Window returns the records of res whose start falls within
+// [epoch+from, epoch+from+width).
+func (r *Result) Window(from, width time.Duration) []flow.Record {
+	start := r.Truth.Epoch.Add(from)
+	return flow.Window(r.Records, start, start.Add(width))
+}

@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/trainsim"
+)
+
+var smallTopo = topology.Spec{Nodes: 16, NodesPerLeaf: 8, Spines: 2}
+
+func TestPlanJobsBasics(t *testing.T) {
+	cfgs, err := PlanJobs(smallTopo, []JobPlan{
+		{Nodes: 8, TargetStep: 2 * time.Second},
+		{Nodes: 4, TargetStep: 2 * time.Second},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("planned %d jobs, want 2", len(cfgs))
+	}
+	topo, err := topology.New(smallTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[topology.NodeID]bool)
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(topo); err != nil {
+			t.Errorf("planned job invalid: %v", err)
+		}
+		for _, n := range cfg.Nodes {
+			if seen[n] {
+				t.Errorf("node %d assigned to two jobs", n)
+			}
+			seen[n] = true
+		}
+		if cfg.DP < 2 {
+			t.Errorf("job %d has DP %d", cfg.ID, cfg.DP)
+		}
+	}
+}
+
+func TestPlanJobsErrors(t *testing.T) {
+	if _, err := PlanJobs(smallTopo, []JobPlan{{Nodes: 1}}, 1); err == nil {
+		t.Error("1-node plan should fail")
+	}
+	if _, err := PlanJobs(smallTopo, []JobPlan{{Nodes: 12}, {Nodes: 12}}, 1); err == nil {
+		t.Error("over-subscribed fabric should fail")
+	}
+	if _, err := PlanJobs(smallTopo, []JobPlan{{Nodes: 6, PP: 4}}, 1); err == nil {
+		t.Error("non-dividing PP should fail")
+	}
+}
+
+func TestDerivePP(t *testing.T) {
+	tests := []struct{ nodes, want int }{
+		{32, 8}, {16, 4}, {8, 2}, {4, 2}, {6, 2}, {24, 4}, {12, 2},
+	}
+	for _, tt := range tests {
+		if got := derivePP(tt.nodes); got != tt.want {
+			t.Errorf("derivePP(%d) = %d, want %d", tt.nodes, got, tt.want)
+		}
+	}
+	// Invariants: PP divides nodes and DP >= 2 for any node count >= 2.
+	for nodes := 2; nodes <= 128; nodes++ {
+		pp := derivePP(nodes)
+		if nodes%pp != 0 {
+			t.Errorf("derivePP(%d) = %d does not divide", nodes, pp)
+		}
+		if pp > 1 && nodes/pp < 2 {
+			t.Errorf("derivePP(%d) = %d leaves DP < 2", nodes, pp)
+		}
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	cfgs, err := PlanJobs(smallTopo, []JobPlan{
+		{Nodes: 8, TargetStep: time.Second},
+		{Nodes: 4, TargetStep: time.Second},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Scenario{
+		Name:    "small",
+		Topo:    smallTopo,
+		Jobs:    cfgs,
+		Horizon: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no flow records collected")
+	}
+	if len(res.Truth.Jobs) != 2 {
+		t.Fatalf("truth jobs = %d, want 2", len(res.Truth.Jobs))
+	}
+	if res.Stats.StepEnds == 0 {
+		t.Error("no steps completed")
+	}
+	// Records must be sorted and within the horizon.
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Start.Before(res.Records[i-1].Start) {
+			t.Fatal("records not sorted")
+		}
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.Start.After(res.Truth.Epoch.Add(10 * time.Second)) {
+		t.Errorf("record starts after horizon: %v", last.Start)
+	}
+	// Window extraction.
+	win := res.Window(2*time.Second, 3*time.Second)
+	if len(win) == 0 {
+		t.Error("window returned no records")
+	}
+	for _, r := range win {
+		off := r.Start.Sub(res.Truth.Epoch)
+		if off < 2*time.Second || off >= 5*time.Second {
+			t.Fatalf("windowed record at offset %v", off)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Scenario{Name: "no-horizon", Topo: smallTopo}); err == nil {
+		t.Error("missing horizon should fail")
+	}
+	if _, err := Run(Scenario{
+		Name: "bad-topo", Topo: topology.Spec{}, Horizon: time.Second,
+	}); err == nil {
+		t.Error("bad topology should fail")
+	}
+	if _, err := Run(Scenario{
+		Name: "bad-job", Topo: smallTopo, Horizon: time.Second,
+		Jobs: []trainsim.JobConfig{{}},
+	}); err == nil {
+		t.Error("bad job should fail")
+	}
+}
+
+func TestStyleAlternation(t *testing.T) {
+	cfgs, err := PlanJobs(smallTopo, []JobPlan{{Nodes: 4}, {Nodes: 4}, {Nodes: 4}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].Style == cfgs[1].Style {
+		t.Error("styles should alternate by default")
+	}
+	forced, err := PlanJobs(smallTopo, []JobPlan{
+		{Nodes: 4, Style: trainsim.StyleAllReduce, StyleSet: true},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced[0].Style != trainsim.StyleAllReduce {
+		t.Error("explicit style ignored")
+	}
+}

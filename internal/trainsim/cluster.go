@@ -1,0 +1,286 @@
+package trainsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/collective"
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/netsim"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/truth"
+)
+
+type eventKind uint8
+
+const (
+	evStageReady eventKind = iota + 1
+	evOpDone
+	evOptimizerDone
+	evFault
+)
+
+type event struct {
+	at     time.Duration
+	seq    uint64
+	kind   eventKind
+	job    int
+	pp, dp int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type ctxKind uint8
+
+const (
+	ctxPPFwd ctxKind = iota + 1
+	ctxPPBwd
+	ctxDP
+)
+
+// flowCtx carries the simulation context of one in-flight network transfer.
+type flowCtx struct {
+	inUse    bool
+	job      int
+	kind     ctxKind
+	pp, dp   int // pp is the RECEIVER stage for PP transfers
+	mb, step int
+	phase    collective.Phase
+	chain    []chainFlow
+	chainIdx int
+}
+
+// Stats counts simulation activity.
+type Stats struct {
+	Ops      int64 // compute operations executed
+	Flows    int64 // network transfers started
+	StepEnds int64 // stage-group step completions
+}
+
+// Observer receives every network flow completion (including intra-node
+// ones, which carry IntraNode=true and are invisible to real collectors).
+type Observer func(netsim.Completion)
+
+// Cluster co-simulates a set of training jobs over a shared fabric.
+type Cluster struct {
+	topo   *topology.Topology
+	net    *netsim.Network
+	jobs   []*jobSim
+	faults faults.Schedule
+
+	events eventHeap
+	seq    uint64
+	ctxs   []flowCtx
+	free   []uint32
+
+	observer Observer
+	now      time.Duration
+	stats    Stats
+}
+
+// NewCluster validates the jobs and builds the co-simulation.
+func NewCluster(topo *topology.Topology, jobCfgs []JobConfig, schedule faults.Schedule, netCfg netsim.Config, obs Observer) (*Cluster, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("trainsim: %w", err)
+	}
+	c := &Cluster{
+		topo:     topo,
+		net:      netsim.New(topo, netCfg),
+		faults:   schedule,
+		observer: obs,
+	}
+	for i, cfg := range jobCfgs {
+		if err := cfg.Validate(topo); err != nil {
+			return nil, err
+		}
+		j, err := newJobSim(i, cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		c.jobs = append(c.jobs, j)
+	}
+	return c, nil
+}
+
+// Stats returns activity counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Network exposes the underlying network (read-only use in tests).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+func (c *Cluster) schedule(e event) {
+	c.seq++
+	e.seq = c.seq
+	heap.Push(&c.events, e)
+}
+
+func (c *Cluster) allocCtx() uint32 {
+	if k := len(c.free); k > 0 {
+		idx := c.free[k-1]
+		c.free = c.free[:k-1]
+		c.ctxs[idx] = flowCtx{inUse: true}
+		return idx
+	}
+	c.ctxs = append(c.ctxs, flowCtx{inUse: true})
+	return uint32(len(c.ctxs) - 1)
+}
+
+func (c *Cluster) freeCtx(idx uint32) {
+	c.ctxs[idx] = flowCtx{}
+	c.free = append(c.free, idx)
+}
+
+func (c *Cluster) startFlow(src, dst flow.Addr, bytes int64, label uint32, ctx uint32, at time.Duration) error {
+	if _, err := c.net.Start(src, dst, bytes, label, uint64(ctx), at); err != nil {
+		return err
+	}
+	c.stats.Flows++
+	return nil
+}
+
+// Run executes the co-simulation until no activity remains or the horizon
+// is reached, whichever comes first.
+func (c *Cluster) Run(horizon time.Duration) error {
+	for _, j := range c.jobs {
+		j.start()
+	}
+	// One heap entry per distinct fault transition instant; applyFaultAt
+	// re-resolves the transitions for that instant.
+	seen := make(map[time.Duration]struct{})
+	for _, fe := range c.faults.Events() {
+		if _, dup := seen[fe.At]; dup {
+			continue
+		}
+		seen[fe.At] = struct{}{}
+		c.schedule(event{at: fe.At, kind: evFault})
+	}
+
+	for {
+		var next time.Duration
+		haveEvent := len(c.events) > 0
+		tFlow, haveFlow := c.net.NextEventTime()
+		switch {
+		case !haveEvent && !haveFlow:
+			return nil
+		case haveEvent && (!haveFlow || c.events[0].at < tFlow):
+			next = c.events[0].at
+		default:
+			next = tFlow
+		}
+		if next > horizon {
+			return nil
+		}
+		if haveFlow && tFlow <= next {
+			// Flows first on ties: completions unblock compute.
+			comps := c.net.AdvanceTo(tFlow)
+			c.now = tFlow
+			for _, comp := range comps {
+				if err := c.onFlowComplete(comp); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		e := heap.Pop(&c.events).(event)
+		c.now = e.at
+		if err := c.dispatch(e); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *Cluster) dispatch(e event) error {
+	switch e.kind {
+	case evStageReady:
+		j := c.jobs[e.job]
+		j.maybeRun(j.stages[e.pp][e.dp], e.at)
+		return nil
+	case evOpDone:
+		c.stats.Ops++
+		return c.jobs[e.job].onOpDone(e.pp, e.dp, e.at)
+	case evOptimizerDone:
+		return c.jobs[e.job].onOptimizerDone(e.pp, e.at)
+	case evFault:
+		return c.applyFaultAt(e.at)
+	default:
+		return fmt.Errorf("trainsim: unknown event kind %d", e.kind)
+	}
+}
+
+// applyFaultAt applies every fault transition scheduled at exactly `at`.
+// (Multiple heap entries at the same instant apply idempotently.)
+func (c *Cluster) applyFaultAt(at time.Duration) error {
+	for _, fe := range c.faults.Events() {
+		if fe.At != at {
+			continue
+		}
+		f := fe.Fault
+		switch f.Kind {
+		case faults.KindSwitchDegrade:
+			scale := f.Factor
+			if fe.Revert {
+				scale = 1
+			}
+			c.net.SetSwitchScale(f.Switch, scale, at)
+		case faults.KindLinkDegrade:
+			scale := f.Factor
+			if fe.Revert {
+				scale = 1
+			}
+			c.net.SetLinkScale(f.Link, scale, at)
+		case faults.KindRankSlowdown:
+			// Polled by jobSim.slowdown at op start; nothing to apply.
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) onFlowComplete(comp netsim.Completion) error {
+	if c.observer != nil {
+		c.observer(comp)
+	}
+	idx := uint32(comp.Tag)
+	ctx := &c.ctxs[idx]
+	if !ctx.inUse {
+		return fmt.Errorf("trainsim: completion for free ctx %d", idx)
+	}
+	j := c.jobs[ctx.job]
+	switch ctx.kind {
+	case ctxPPFwd, ctxPPBwd:
+		j.onPPArrive(ctx, comp.End)
+		c.freeCtx(idx)
+		return nil
+	case ctxDP:
+		return j.onDPFlowDone(idx, comp.End)
+	default:
+		return fmt.Errorf("trainsim: unknown ctx kind %d", ctx.kind)
+	}
+}
+
+// Truth assembles the platform ground truth after Run.
+func (c *Cluster) Truth(epoch time.Time) truth.Platform {
+	p := truth.Platform{Epoch: epoch}
+	for _, j := range c.jobs {
+		p.Jobs = append(p.Jobs, j.truthJob())
+	}
+	return p
+}

@@ -1,0 +1,227 @@
+// Package trainsim simulates multi-tenant distributed LLM training at the
+// communication level: Megatron-style 3D parallel jobs (TP within a node,
+// PP and DP across nodes) running 1F1B pipeline schedules with ZeRO-style
+// bucketed data-parallel collectives, co-simulated against the fluid
+// network model of package netsim.
+//
+// The simulator produces exactly the observables the LLMPrism paper's
+// platform exposes — network flows with sizes, timings and switch paths —
+// plus the ground truth (job membership, pair types, true step spans) the
+// experiments score against.
+package trainsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/model"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+// CommStyle selects the data-parallel synchronization pattern.
+type CommStyle uint8
+
+// Communication styles.
+const (
+	// StyleZeRO reduce-scatters gradients, runs the optimizer on the
+	// shard, then all-gathers updated parameters (DeepSpeed ZeRO).
+	StyleZeRO CommStyle = iota
+	// StyleAllReduce ring-all-reduces gradients then runs the optimizer
+	// (classic DDP).
+	StyleAllReduce
+)
+
+func (s CommStyle) String() string {
+	switch s {
+	case StyleZeRO:
+		return "zero"
+	case StyleAllReduce:
+		return "all-reduce"
+	default:
+		return fmt.Sprintf("CommStyle(%d)", uint8(s))
+	}
+}
+
+// JobConfig describes one tenant training job.
+type JobConfig struct {
+	// ID is the job identifier (unique within a platform run).
+	ID int
+	// Name is a human-readable label.
+	Name string
+	// Model is the transformer being trained.
+	Model model.Spec
+	// TP, PP, DP are the tensor/pipeline/data parallel degrees.
+	// TP×PP×DP must equal len(Nodes) × GPUs per node. DP must be >= 2
+	// (LLMPrism's timeline reconstruction anchors on DP traffic).
+	TP, PP, DP int
+	// MicroBatches is the number of micro-batches per training step.
+	// Default max(PP, 4).
+	MicroBatches int
+	// MicroBatchSize is the number of sequences per micro-batch. Default 1.
+	MicroBatchSize int
+	// Nodes are the servers assigned to the job.
+	Nodes []topology.NodeID
+	// GPUFLOPS is the effective per-GPU compute rate (FLOPs/s, already
+	// discounted for utilization). Default 120e12.
+	GPUFLOPS float64
+	// BucketBytes caps DP gradient buckets. Default 128 MiB.
+	BucketBytes int64
+	// Rings is the number of collective channels. Default 2.
+	Rings int
+	// OptimizerTime is the per-step optimizer latency between
+	// reduce-scatter and all-gather (ZeRO) or after all-reduce (DDP).
+	// Default 25ms.
+	OptimizerTime time.Duration
+	// PostStepTime is the network-invisible tail after DP communication
+	// finishes (logging, dataloader, kernel launches) before the next
+	// step starts. Default 12ms. This is the irreducible timeline
+	// reconstruction error source.
+	PostStepTime time.Duration
+	// Style selects ZeRO or DDP communication. Default StyleZeRO.
+	Style CommStyle
+	// FP32GradReduce reduce-scatters gradients at fp32 (2× the wire bytes
+	// of the bf16 parameter all-gather), as mixed-precision recipes that
+	// accumulate gradients in fp32 do. It gives the two DP phases distinct
+	// flow sizes, which matters when collectors aggregate chunk streams
+	// into per-phase records.
+	FP32GradReduce bool
+	// Jitter is the lognormal sigma of compute-time noise. Default 0.02.
+	Jitter float64
+	// Seed drives the job's private randomness.
+	Seed int64
+	// StartOffset delays the job's first step relative to simulation
+	// start, staggering tenants.
+	StartOffset time.Duration
+}
+
+func (c JobConfig) withDefaults() JobConfig {
+	if c.MicroBatches <= 0 {
+		c.MicroBatches = c.PP
+		if c.MicroBatches < 4 {
+			c.MicroBatches = 4
+		}
+	}
+	if c.MicroBatchSize <= 0 {
+		c.MicroBatchSize = 1
+	}
+	if c.GPUFLOPS <= 0 {
+		c.GPUFLOPS = 120e12
+	}
+	if c.BucketBytes <= 0 {
+		c.BucketBytes = 128 << 20
+	}
+	if c.Rings <= 0 {
+		c.Rings = 2
+	}
+	if c.OptimizerTime <= 0 {
+		c.OptimizerTime = 25 * time.Millisecond
+	}
+	if c.PostStepTime <= 0 {
+		c.PostStepTime = 12 * time.Millisecond
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	} else if c.Jitter == 0 {
+		c.Jitter = 0.02
+	}
+	return c
+}
+
+// Ranks returns the total GPU count of the job.
+func (c JobConfig) Ranks() int { return c.TP * c.PP * c.DP }
+
+// Validate checks the job against the fabric.
+func (c JobConfig) Validate(topo *topology.Topology) error {
+	if err := c.Model.Validate(); err != nil {
+		return fmt.Errorf("trainsim: job %d: %w", c.ID, err)
+	}
+	if c.TP <= 0 || c.PP <= 0 || c.DP <= 0 {
+		return fmt.Errorf("trainsim: job %d: parallel degrees must be positive (tp=%d pp=%d dp=%d)", c.ID, c.TP, c.PP, c.DP)
+	}
+	if c.DP < 2 {
+		return fmt.Errorf("trainsim: job %d: DP must be >= 2, got %d", c.ID, c.DP)
+	}
+	gpn := topo.Spec().GPUsPerNode
+	if c.TP > gpn {
+		return fmt.Errorf("trainsim: job %d: TP %d exceeds GPUs per node %d (TP is intra-node)", c.ID, c.TP, gpn)
+	}
+	if gpn%c.TP != 0 {
+		return fmt.Errorf("trainsim: job %d: TP %d must divide GPUs per node %d", c.ID, c.TP, gpn)
+	}
+	if want := len(c.Nodes) * gpn; c.Ranks() != want {
+		return fmt.Errorf("trainsim: job %d: tp*pp*dp = %d but %d nodes provide %d GPUs", c.ID, c.Ranks(), len(c.Nodes), want)
+	}
+	seen := make(map[topology.NodeID]struct{}, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if int(n) < 0 || int(n) >= topo.Nodes() {
+			return fmt.Errorf("trainsim: job %d: node %d outside fabric", c.ID, n)
+		}
+		if _, dup := seen[n]; dup {
+			return fmt.Errorf("trainsim: job %d: node %d assigned twice", c.ID, n)
+		}
+		seen[n] = struct{}{}
+	}
+	cfg := c.withDefaults()
+	if cfg.MicroBatches < 1 {
+		return fmt.Errorf("trainsim: job %d: needs at least one micro-batch", c.ID)
+	}
+	return nil
+}
+
+// grid maps between Megatron rank coordinates and fabric addresses.
+// Rank order is tp-fastest, then dp, then pp:
+//
+//	rank = tp + TP·(dp + DP·pp)
+//
+// With TP equal to the node size, every (pp, dp) coordinate occupies one
+// full server and all PP/DP traffic is cross-node and rail-aligned, which
+// is the production layout the paper's observations rely on.
+type grid struct {
+	tp, pp, dp int
+	gpn        int
+	nodes      []topology.NodeID
+	topo       *topology.Topology
+}
+
+func newGrid(cfg JobConfig, topo *topology.Topology) grid {
+	return grid{
+		tp: cfg.TP, pp: cfg.PP, dp: cfg.DP,
+		gpn:   topo.Spec().GPUsPerNode,
+		nodes: cfg.Nodes,
+		topo:  topo,
+	}
+}
+
+// rank returns the global rank of grid coordinates.
+func (g grid) rank(pp, dp, tp int) int {
+	return tp + g.tp*(dp+g.dp*pp)
+}
+
+// addr returns the NIC address of grid coordinates.
+func (g grid) addr(pp, dp, tp int) flow.Addr {
+	r := g.rank(pp, dp, tp)
+	return g.topo.AddrOf(g.nodes[r/g.gpn], r%g.gpn)
+}
+
+// addrs returns every rank address in rank order.
+func (g grid) addrs() []flow.Addr {
+	out := make([]flow.Addr, 0, g.tp*g.pp*g.dp)
+	for pp := 0; pp < g.pp; pp++ {
+		for dp := 0; dp < g.dp; dp++ {
+			for tp := 0; tp < g.tp; tp++ {
+				out = append(out, g.addr(pp, dp, tp))
+			}
+		}
+	}
+	return out
+}
+
+// stageAddrs returns the TP rail addresses of one (pp, dp) stage instance.
+func (g grid) stageAddrs(pp, dp int) []flow.Addr {
+	out := make([]flow.Addr, g.tp)
+	for tp := 0; tp < g.tp; tp++ {
+		out[tp] = g.addr(pp, dp, tp)
+	}
+	return out
+}

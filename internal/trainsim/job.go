@@ -1,0 +1,483 @@
+package trainsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/collective"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/model"
+	"github.com/llmprism/llmprism/internal/truth"
+)
+
+// op is one compute operation in a stage's per-step schedule.
+type op struct {
+	fwd bool
+	mb  int
+}
+
+// buildOps returns the 1F1B (PipeDream-flush) op order for stage pp of a
+// depth-`stages` pipeline running m micro-batches: warmup forwards, a
+// steady one-forward-one-backward phase, then cooldown backwards.
+func buildOps(pp, stages, m int) []op {
+	warmup := stages - 1 - pp
+	if warmup > m {
+		warmup = m
+	}
+	ops := make([]op, 0, 2*m)
+	for i := 0; i < warmup; i++ {
+		ops = append(ops, op{fwd: true, mb: i})
+	}
+	for i := 0; i < m-warmup; i++ {
+		ops = append(ops, op{fwd: true, mb: warmup + i})
+		ops = append(ops, op{fwd: false, mb: i})
+	}
+	for i := m - warmup; i < m; i++ {
+		ops = append(ops, op{fwd: false, mb: i})
+	}
+	return ops
+}
+
+// stageSim is the compute state of one (pp, dp) stage instance. All TP
+// ranks of the stage operate in lockstep (tensor-parallel synchronization),
+// so one stageSim drives the whole server.
+type stageSim struct {
+	pp, dp    int
+	step      int
+	opIdx     int
+	running   bool
+	stepStart time.Duration
+	nextStart time.Duration
+	ops       []op
+	// fwdRecv/bwdRecv count per-micro-batch rail arrivals, double-buffered
+	// by step parity: a neighbour stage may begin step k+1 and start
+	// sending while this stage is still finishing step k.
+	fwdRecv [2][]int
+	bwdRecv [2][]int
+}
+
+func (s *stageSim) resetSlot(parity int) {
+	for i := range s.fwdRecv[parity] {
+		s.fwdRecv[parity][i] = 0
+	}
+	for i := range s.bwdRecv[parity] {
+		s.bwdRecv[parity][i] = 0
+	}
+}
+
+// dpGroup coordinates the data-parallel collective of one pipeline stage
+// (all DP replicas, all TP rails).
+type dpGroup struct {
+	pp          int
+	joined      int
+	outstanding int
+	phase       collective.Phase
+}
+
+// chainFlow is one network transfer in a sequential per-edge bucket chain.
+type chainFlow struct {
+	src, dst flow.Addr
+	bytes    int64
+	label    uint32
+}
+
+// jobSim simulates one training job.
+type jobSim struct {
+	idx     int // index within the cluster
+	cfg     JobConfig
+	g       grid
+	cluster *Cluster
+	rng     *rand.Rand
+
+	stages [][]*stageSim // [pp][dp]
+	groups []*dpGroup    // [pp]
+
+	fwdDur   []time.Duration // [pp], per micro-batch
+	bwdDur   []time.Duration // [pp]
+	actBytes int64
+	// chains[pp] holds the per-(tp, ring, member) sequential bucket chains
+	// of one DP collective phase for that stage (RS and AG share shape).
+	chains [][][]chainFlow
+
+	pairs map[flow.Pair]truth.PairType
+	spans map[flow.Addr][]truth.Span
+}
+
+func newJobSim(idx int, cfg JobConfig, c *Cluster) (*jobSim, error) {
+	cfg = cfg.withDefaults()
+	j := &jobSim{
+		idx:     idx,
+		cfg:     cfg,
+		g:       newGrid(cfg, c.topo),
+		cluster: c,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+		pairs:   make(map[flow.Pair]truth.PairType),
+		spans:   make(map[flow.Addr][]truth.Span),
+	}
+	m := cfg.MicroBatches
+	j.stages = make([][]*stageSim, cfg.PP)
+	for pp := 0; pp < cfg.PP; pp++ {
+		j.stages[pp] = make([]*stageSim, cfg.DP)
+		for dp := 0; dp < cfg.DP; dp++ {
+			st := &stageSim{pp: pp, dp: dp, ops: buildOps(pp, cfg.PP, m)}
+			for parity := 0; parity < 2; parity++ {
+				st.fwdRecv[parity] = make([]int, m)
+				st.bwdRecv[parity] = make([]int, m)
+			}
+			j.stages[pp][dp] = st
+		}
+	}
+	j.groups = make([]*dpGroup, cfg.PP)
+	for pp := range j.groups {
+		j.groups[pp] = &dpGroup{pp: pp}
+	}
+
+	j.actBytes = cfg.Model.ActivationBytes(cfg.MicroBatchSize)
+	j.fwdDur = make([]time.Duration, cfg.PP)
+	j.bwdDur = make([]time.Duration, cfg.PP)
+	for pp := 0; pp < cfg.PP; pp++ {
+		flops := cfg.Model.FwdFLOPs(cfg.PP, pp, cfg.TP, cfg.MicroBatchSize)
+		fwd := flops / cfg.GPUFLOPS
+		j.fwdDur[pp] = time.Duration(fwd * float64(time.Second))
+		j.bwdDur[pp] = time.Duration(2 * fwd * float64(time.Second))
+	}
+
+	rings, err := collective.Rings(cfg.DP, cfg.Rings)
+	if err != nil {
+		return nil, fmt.Errorf("trainsim: job %d: %w", cfg.ID, err)
+	}
+	if err := j.buildChains(rings); err != nil {
+		return nil, err
+	}
+	j.buildTruthPairs(rings)
+	return j, nil
+}
+
+// buildChains precomputes, per pipeline stage, the sequential bucket chains
+// of one DP collective phase: one chain per (tp rail, ring, member), each a
+// series of bucket transfers on the same edge and queue pair.
+func (j *jobSim) buildChains(rings [][]int) error {
+	cfg := j.cfg
+	j.chains = make([][][]chainFlow, cfg.PP)
+	for pp := 0; pp < cfg.PP; pp++ {
+		gradBytes := cfg.Model.StageGradBytes(cfg.PP, pp, cfg.TP)
+		buckets := model.Buckets(gradBytes, cfg.BucketBytes)
+		transfers := collective.ReduceScatter(cfg.DP, buckets, rings)
+		// Group transfers by (ring, from) preserving bucket order.
+		byEdge := make(map[int][]collective.Transfer)
+		for _, tr := range transfers {
+			key := tr.Ring*cfg.DP + tr.From
+			byEdge[key] = append(byEdge[key], tr)
+		}
+		var stageChains [][]chainFlow
+		for tp := 0; tp < cfg.TP; tp++ {
+			for ring := range rings {
+				for from := 0; from < cfg.DP; from++ {
+					seq := byEdge[ring*cfg.DP+from]
+					if len(seq) == 0 {
+						continue
+					}
+					chain := make([]chainFlow, len(seq))
+					for i, tr := range seq {
+						chain[i] = chainFlow{
+							src:   j.g.addr(pp, tr.From, tp),
+							dst:   j.g.addr(pp, tr.To, tp),
+							bytes: tr.Bytes,
+							label: uint32(tr.Ring*cfg.TP + tp + 1),
+						}
+					}
+					stageChains = append(stageChains, chain)
+				}
+			}
+		}
+		j.chains[pp] = stageChains
+	}
+	return nil
+}
+
+// buildTruthPairs records the true type of every cross-node communicating
+// pair of the job.
+func (j *jobSim) buildTruthPairs(rings [][]int) {
+	cfg := j.cfg
+	crossNode := func(a, b flow.Addr) bool {
+		return j.g.topo.NodeOf(a) != j.g.topo.NodeOf(b)
+	}
+	for pp := 0; pp+1 < cfg.PP; pp++ {
+		for dp := 0; dp < cfg.DP; dp++ {
+			for tp := 0; tp < cfg.TP; tp++ {
+				a, b := j.g.addr(pp, dp, tp), j.g.addr(pp+1, dp, tp)
+				if crossNode(a, b) {
+					j.pairs[flow.MakePair(a, b)] = truth.PairPP
+				}
+			}
+		}
+	}
+	for pp := 0; pp < cfg.PP; pp++ {
+		for tp := 0; tp < cfg.TP; tp++ {
+			for _, succ := range rings {
+				for from := 0; from < cfg.DP; from++ {
+					a, b := j.g.addr(pp, from, tp), j.g.addr(pp, succ[from], tp)
+					if crossNode(a, b) {
+						j.pairs[flow.MakePair(a, b)] = truth.PairDP
+					}
+				}
+			}
+		}
+	}
+}
+
+// start schedules the first step of every stage.
+func (j *jobSim) start() {
+	for pp := range j.stages {
+		for dp := range j.stages[pp] {
+			st := j.stages[pp][dp]
+			st.stepStart = j.cfg.StartOffset
+			st.nextStart = j.cfg.StartOffset
+			j.cluster.schedule(event{
+				at: st.nextStart, kind: evStageReady,
+				job: j.idx, pp: pp, dp: dp,
+			})
+		}
+	}
+}
+
+// ready reports whether the stage's next op has its inputs.
+func (j *jobSim) ready(st *stageSim) bool {
+	if st.opIdx >= len(st.ops) {
+		return false
+	}
+	o := st.ops[st.opIdx]
+	parity := st.step % 2
+	if o.fwd {
+		if st.pp == 0 {
+			return true
+		}
+		return st.fwdRecv[parity][o.mb] >= j.cfg.TP
+	}
+	if st.pp == j.cfg.PP-1 {
+		return true // own forward precedes in op order
+	}
+	return st.bwdRecv[parity][o.mb] >= j.cfg.TP
+}
+
+// maybeRun starts the stage's next op if it is idle, gated for the next
+// step, and its dependencies have arrived.
+func (j *jobSim) maybeRun(st *stageSim, at time.Duration) {
+	if st.running || at < st.nextStart || !j.ready(st) {
+		return
+	}
+	o := st.ops[st.opIdx]
+	base := j.fwdDur[st.pp]
+	if !o.fwd {
+		base = j.bwdDur[st.pp]
+	}
+	dur := time.Duration(float64(base) * j.jitterFactor() * j.slowdown(st, at))
+	st.running = true
+	j.cluster.schedule(event{
+		at: at + dur, kind: evOpDone,
+		job: j.idx, pp: st.pp, dp: st.dp,
+	})
+}
+
+func (j *jobSim) jitterFactor() float64 {
+	if j.cfg.Jitter <= 0 {
+		return 1
+	}
+	return math.Exp(j.rng.NormFloat64() * j.cfg.Jitter)
+}
+
+// slowdown returns the active compute multiplier for the stage: TP
+// synchronization means the whole server runs at its slowest rank's pace.
+func (j *jobSim) slowdown(st *stageSim, at time.Duration) float64 {
+	factor := 1.0
+	for tp := 0; tp < j.cfg.TP; tp++ {
+		f := j.cluster.faults.ActiveSlowdown(j.g.addr(st.pp, st.dp, tp), at)
+		if f > factor {
+			factor = f
+		}
+	}
+	return factor
+}
+
+// onOpDone handles a finished compute op.
+func (j *jobSim) onOpDone(pp, dp int, at time.Duration) error {
+	st := j.stages[pp][dp]
+	st.running = false
+	o := st.ops[st.opIdx]
+	st.opIdx++
+
+	if o.fwd && pp+1 < j.cfg.PP {
+		if err := j.sendPP(pp, dp, pp+1, o.mb, st.step, true, at); err != nil {
+			return err
+		}
+	}
+	if !o.fwd && pp > 0 {
+		if err := j.sendPP(pp, dp, pp-1, o.mb, st.step, false, at); err != nil {
+			return err
+		}
+	}
+	if st.opIdx >= len(st.ops) {
+		// Stage finished its backwards: join the DP collective.
+		grp := j.groups[pp]
+		grp.joined++
+		if grp.joined == j.cfg.DP {
+			grp.joined = 0
+			if err := j.startDPPhase(grp, collective.PhaseReduceScatter, at); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	j.maybeRun(st, at)
+	return nil
+}
+
+// sendPP emits the per-rail pipeline transfers from stage (fromPP, dp) to
+// stage (toPP, dp).
+func (j *jobSim) sendPP(fromPP, dp, toPP, mb, step int, fwd bool, at time.Duration) error {
+	kind := ctxPPFwd
+	if !fwd {
+		kind = ctxPPBwd
+	}
+	for tp := 0; tp < j.cfg.TP; tp++ {
+		ctx := j.cluster.allocCtx()
+		c := &j.cluster.ctxs[ctx]
+		c.job = j.idx
+		c.kind = kind
+		c.pp = toPP
+		c.dp = dp
+		c.mb = mb
+		c.step = step
+		src := j.g.addr(fromPP, dp, tp)
+		dst := j.g.addr(toPP, dp, tp)
+		if err := j.cluster.startFlow(src, dst, j.actBytes, 0, ctx, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onPPArrive handles the delivery of one rail's pipeline transfer.
+func (j *jobSim) onPPArrive(c *flowCtx, at time.Duration) {
+	st := j.stages[c.pp][c.dp]
+	parity := c.step % 2
+	if c.kind == ctxPPFwd {
+		st.fwdRecv[parity][c.mb]++
+	} else {
+		st.bwdRecv[parity][c.mb]++
+	}
+	j.maybeRun(st, at)
+}
+
+// dpBytes scales a chain template's payload for the phase: fp32 gradient
+// reduction doubles reduce-scatter bytes relative to the bf16 all-gather.
+func (j *jobSim) dpBytes(base int64, phase collective.Phase) int64 {
+	if j.cfg.FP32GradReduce && phase == collective.PhaseReduceScatter {
+		return 2 * base
+	}
+	return base
+}
+
+// startDPPhase launches every bucket chain of one collective phase for the
+// stage group.
+func (j *jobSim) startDPPhase(grp *dpGroup, phase collective.Phase, at time.Duration) error {
+	grp.phase = phase
+	grp.outstanding = len(j.chains[grp.pp])
+	for _, chain := range j.chains[grp.pp] {
+		ctx := j.cluster.allocCtx()
+		c := &j.cluster.ctxs[ctx]
+		c.job = j.idx
+		c.kind = ctxDP
+		c.pp = grp.pp
+		c.phase = phase
+		c.chain = chain
+		c.chainIdx = 0
+		f := chain[0]
+		if err := j.cluster.startFlow(f.src, f.dst, j.dpBytes(f.bytes, phase), f.label, ctx, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onDPFlowDone advances a collective bucket chain, and drives the
+// RS → optimizer → AG → step-end progression when the last chain drains.
+func (j *jobSim) onDPFlowDone(ctxIdx uint32, at time.Duration) error {
+	c := &j.cluster.ctxs[ctxIdx]
+	c.chainIdx++
+	if c.chainIdx < len(c.chain) {
+		f := c.chain[c.chainIdx]
+		return j.cluster.startFlow(f.src, f.dst, j.dpBytes(f.bytes, c.phase), f.label, ctxIdx, at)
+	}
+	grp := j.groups[c.pp]
+	pp := c.pp
+	phase := c.phase
+	j.cluster.freeCtx(ctxIdx)
+	grp.outstanding--
+	if grp.outstanding > 0 {
+		return nil
+	}
+	switch {
+	case phase == collective.PhaseReduceScatter && j.cfg.Style == StyleZeRO:
+		j.cluster.schedule(event{
+			at: at + j.cfg.OptimizerTime, kind: evOptimizerDone,
+			job: j.idx, pp: pp,
+		})
+	case phase == collective.PhaseReduceScatter:
+		return j.startDPPhase(grp, collective.PhaseAllGather, at)
+	default: // all-gather done: the step ends.
+		tail := j.cfg.PostStepTime
+		if j.cfg.Style == StyleAllReduce {
+			tail += j.cfg.OptimizerTime
+		}
+		j.endStep(pp, at+tail)
+	}
+	return nil
+}
+
+// onOptimizerDone launches the all-gather after the ZeRO optimizer.
+func (j *jobSim) onOptimizerDone(pp int, at time.Duration) error {
+	return j.startDPPhase(j.groups[pp], collective.PhaseAllGather, at)
+}
+
+// endStep records true step spans for every rank of the stage and arms the
+// next step.
+func (j *jobSim) endStep(pp int, nextStart time.Duration) {
+	j.cluster.stats.StepEnds++
+	for dp := 0; dp < j.cfg.DP; dp++ {
+		st := j.stages[pp][dp]
+		for tp := 0; tp < j.cfg.TP; tp++ {
+			addr := j.g.addr(pp, dp, tp)
+			j.spans[addr] = append(j.spans[addr], truth.Span{
+				Step: st.step, Start: st.stepStart, End: nextStart,
+			})
+		}
+		st.step++
+		st.opIdx = 0
+		st.stepStart = nextStart
+		st.nextStart = nextStart
+		// Prepare the slot for step+1 (last used by step-1, now finished;
+		// see the double-buffering note on stageSim).
+		st.resetSlot((st.step + 1) % 2)
+		j.cluster.schedule(event{
+			at: nextStart, kind: evStageReady,
+			job: j.idx, pp: pp, dp: dp,
+		})
+	}
+}
+
+// truthJob assembles the job's ground truth.
+func (j *jobSim) truthJob() truth.Job {
+	return truth.Job{
+		ID:    j.cfg.ID,
+		Name:  j.cfg.Name,
+		TP:    j.cfg.TP,
+		PP:    j.cfg.PP,
+		DP:    j.cfg.DP,
+		Addrs: j.g.addrs(),
+		Pairs: j.pairs,
+		Steps: j.spans,
+	}
+}

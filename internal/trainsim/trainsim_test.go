@@ -1,0 +1,379 @@
+package trainsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/model"
+	"github.com/llmprism/llmprism/internal/netsim"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/truth"
+)
+
+var tinyModel = model.Spec{Name: "tiny", Layers: 4, Hidden: 512, SeqLen: 2048}
+
+func testTopo(t *testing.T, nodes int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(topology.Spec{Nodes: nodes, NodesPerLeaf: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func nodeRange(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+// --- buildOps ---
+
+func TestBuildOpsCounts(t *testing.T) {
+	for _, tc := range []struct{ pp, stages, m int }{
+		{0, 4, 8}, {3, 4, 8}, {0, 1, 4}, {1, 2, 2}, {2, 8, 4},
+	} {
+		ops := buildOps(tc.pp, tc.stages, tc.m)
+		if len(ops) != 2*tc.m {
+			t.Fatalf("pp=%d stages=%d m=%d: %d ops, want %d", tc.pp, tc.stages, tc.m, len(ops), 2*tc.m)
+		}
+		fwds, bwds := 0, 0
+		for _, o := range ops {
+			if o.fwd {
+				fwds++
+			} else {
+				bwds++
+			}
+		}
+		if fwds != tc.m || bwds != tc.m {
+			t.Fatalf("pp=%d: %d fwds %d bwds, want %d each", tc.pp, fwds, bwds, tc.m)
+		}
+	}
+}
+
+func TestBuildOpsOrdering(t *testing.T) {
+	// fwd(i) must precede bwd(i); micro-batch order must be ascending per kind.
+	ops := buildOps(1, 4, 8)
+	fwdAt := make(map[int]int)
+	for i, o := range ops {
+		if o.fwd {
+			fwdAt[o.mb] = i
+		} else if fi, ok := fwdAt[o.mb]; !ok || fi > i {
+			t.Fatalf("bwd(%d) at %d has no preceding fwd", o.mb, i)
+		}
+	}
+	// Last stage runs strict 1F1B: fwd0,bwd0,fwd1,bwd1,...
+	last := buildOps(3, 4, 4)
+	for i, o := range last {
+		wantFwd := i%2 == 0
+		wantMB := i / 2
+		if o.fwd != wantFwd || o.mb != wantMB {
+			t.Fatalf("last stage op %d = %+v, want fwd=%v mb=%d", i, o, wantFwd, wantMB)
+		}
+	}
+	// First stage warms up with stages-1 forwards.
+	first := buildOps(0, 4, 8)
+	for i := 0; i < 3; i++ {
+		if !first[i].fwd || first[i].mb != i {
+			t.Fatalf("first stage warmup op %d = %+v", i, first[i])
+		}
+	}
+}
+
+// --- end-to-end small jobs ---
+
+func dpOnlyJob(nodes []topology.NodeID) JobConfig {
+	return JobConfig{
+		ID: 1, Name: "dp-only", Model: tinyModel,
+		TP: 8, PP: 1, DP: len(nodes),
+		MicroBatches: 4, Nodes: nodes,
+		GPUFLOPS: 10e12, Seed: 42,
+	}
+}
+
+func pipelineJob(nodes []topology.NodeID, pp int) JobConfig {
+	return JobConfig{
+		ID: 2, Name: "pipeline", Model: tinyModel,
+		TP: 8, PP: pp, DP: len(nodes) / pp,
+		MicroBatches: 8, Nodes: nodes,
+		GPUFLOPS: 10e12, Seed: 43,
+	}
+}
+
+func runCluster(t *testing.T, topo *topology.Topology, cfgs []JobConfig, sched faults.Schedule, horizon time.Duration) (*Cluster, []netsim.Completion) {
+	t.Helper()
+	var comps []netsim.Completion
+	c, err := NewCluster(topo, cfgs, sched, netsim.Config{}, func(comp netsim.Completion) {
+		comps = append(comps, comp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return c, comps
+}
+
+func TestDPOnlyJobMakesProgress(t *testing.T) {
+	topo := testTopo(t, 2)
+	c, comps := runCluster(t, topo, []JobConfig{dpOnlyJob(nodeRange(2))}, faults.Schedule{}, 5*time.Second)
+	st := c.Stats()
+	if st.StepEnds < 10 {
+		t.Fatalf("StepEnds = %d, want >= 10", st.StepEnds)
+	}
+	if st.Ops == 0 || st.Flows == 0 || len(comps) == 0 {
+		t.Fatalf("no activity: %+v", st)
+	}
+	tr := c.Truth(time.Unix(0, 0).UTC())
+	if len(tr.Jobs) != 1 {
+		t.Fatalf("truth jobs = %d", len(tr.Jobs))
+	}
+	job := tr.Jobs[0]
+	if len(job.Addrs) != 16 {
+		t.Fatalf("truth addrs = %d, want 16", len(job.Addrs))
+	}
+	for addr, spans := range job.Steps {
+		for i, span := range spans {
+			if span.Step != i {
+				t.Fatalf("addr %v span %d has step %d", addr, i, span.Step)
+			}
+			if span.End <= span.Start {
+				t.Fatalf("addr %v span %d non-positive: %+v", addr, i, span)
+			}
+			if i > 0 && span.Start != spans[i-1].End {
+				t.Fatalf("addr %v spans not contiguous at %d", addr, i)
+			}
+		}
+	}
+}
+
+func TestPipelineJobMakesProgress(t *testing.T) {
+	topo := testTopo(t, 4)
+	c, comps := runCluster(t, topo, []JobConfig{pipelineJob(nodeRange(4), 2)}, faults.Schedule{}, 5*time.Second)
+	if c.Stats().StepEnds < 4 {
+		t.Fatalf("StepEnds = %d, want >= 4", c.Stats().StepEnds)
+	}
+	// PP activations must appear as fixed-size cross-node flows.
+	actBytes := tinyModel.ActivationBytes(1)
+	seenAct := false
+	for _, comp := range comps {
+		if comp.Bytes == actBytes && !comp.IntraNode {
+			seenAct = true
+			break
+		}
+	}
+	if !seenAct {
+		t.Error("no activation-sized PP flow observed")
+	}
+	// Truth must contain both PP and DP pairs.
+	job := c.Truth(time.Unix(0, 0).UTC()).Jobs[0]
+	var nPP, nDP int
+	for _, pt := range job.Pairs {
+		switch pt {
+		case truth.PairPP:
+			nPP++
+		case truth.PairDP:
+			nDP++
+		}
+	}
+	if nPP != 16 { // (PP-1)·DP·TP = 1·2·8
+		t.Errorf("truth PP pairs = %d, want 16", nPP)
+	}
+	if nDP != 16 { // PP·TP·(1 undirected ring edge for DP=2) = 2·8·1
+		t.Errorf("truth DP pairs = %d, want 16", nDP)
+	}
+}
+
+func TestStepSpansConsistentAcrossStageRanks(t *testing.T) {
+	topo := testTopo(t, 4)
+	c, _ := runCluster(t, topo, []JobConfig{pipelineJob(nodeRange(4), 2)}, faults.Schedule{}, 3*time.Second)
+	job := c.Truth(time.Unix(0, 0).UTC()).Jobs[0]
+	g := newGrid(c.jobs[0].cfg, topo)
+	// All ranks of the same pipeline stage share identical spans.
+	for pp := 0; pp < 2; pp++ {
+		ref := job.Steps[g.addr(pp, 0, 0)]
+		if len(ref) == 0 {
+			t.Fatalf("no spans for stage %d", pp)
+		}
+		for dp := 0; dp < 2; dp++ {
+			for tp := 0; tp < 8; tp++ {
+				spans := job.Steps[g.addr(pp, dp, tp)]
+				if len(spans) != len(ref) {
+					t.Fatalf("stage %d rank (%d,%d) has %d spans, ref %d", pp, dp, tp, len(spans), len(ref))
+				}
+				for i := range spans {
+					if spans[i] != ref[i] {
+						t.Fatalf("stage %d rank (%d,%d) span %d = %+v, ref %+v", pp, dp, tp, i, spans[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStragglerSlowsSteps(t *testing.T) {
+	topo := testTopo(t, 2)
+	cfg := dpOnlyJob(nodeRange(2))
+	victim := flow.Addr(0) // node 0, gpu 0
+	sched := faults.Schedule{Faults: []faults.Fault{{
+		Kind: faults.KindRankSlowdown, Addr: victim,
+		At: 2 * time.Second, Until: 4 * time.Second, Factor: 6,
+	}}}
+	c, _ := runCluster(t, topo, []JobConfig{cfg}, sched, 6*time.Second)
+	job := c.Truth(time.Unix(0, 0).UTC()).Jobs[0]
+	spans := job.Steps[victim]
+	if len(spans) < 10 {
+		t.Fatalf("too few spans: %d", len(spans))
+	}
+	var normal, slow []float64
+	for _, s := range spans {
+		mid := s.Start + s.Duration()/2
+		switch {
+		case mid > 2*time.Second && mid < 4*time.Second:
+			slow = append(slow, s.Duration().Seconds())
+		case mid < 2*time.Second:
+			normal = append(normal, s.Duration().Seconds())
+		}
+	}
+	if len(normal) == 0 || len(slow) == 0 {
+		t.Fatalf("insufficient spans in both regimes: %d/%d", len(normal), len(slow))
+	}
+	meanOf := func(xs []float64) float64 {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / float64(len(xs))
+	}
+	if ratio := meanOf(slow) / meanOf(normal); ratio < 1.5 {
+		t.Errorf("straggler step-duration ratio = %.2f, want >= 1.5", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	topo := testTopo(t, 4)
+	run := func() (Stats, []truth.Span) {
+		c, _ := runCluster(t, topo, []JobConfig{pipelineJob(nodeRange(4), 2)}, faults.Schedule{}, 2*time.Second)
+		job := c.Truth(time.Unix(0, 0).UTC()).Jobs[0]
+		return c.Stats(), job.Steps[job.Addrs[0]]
+	}
+	s1, spans1 := run()
+	s2, spans2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	if len(spans1) != len(spans2) {
+		t.Fatalf("span counts differ: %d vs %d", len(spans1), len(spans2))
+	}
+	for i := range spans1 {
+		if spans1[i] != spans2[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, spans1[i], spans2[i])
+		}
+	}
+}
+
+func TestMultiJobIsolation(t *testing.T) {
+	topo := testTopo(t, 8)
+	jobA := dpOnlyJob(nodeRange(4))
+	jobA.ID = 10
+	jobB := JobConfig{
+		ID: 20, Name: "b", Model: tinyModel,
+		TP: 8, PP: 2, DP: 2, MicroBatches: 4,
+		Nodes:    []topology.NodeID{4, 5, 6, 7},
+		GPUFLOPS: 10e12, Seed: 99,
+	}
+	c, comps := runCluster(t, topo, []JobConfig{jobA, jobB}, faults.Schedule{}, 3*time.Second)
+	tr := c.Truth(time.Unix(0, 0).UTC())
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("truth jobs = %d, want 2", len(tr.Jobs))
+	}
+	// No flow may cross job boundaries.
+	inJob := make(map[flow.Addr]int)
+	for ji, j := range tr.Jobs {
+		for _, a := range j.Addrs {
+			inJob[a] = ji
+		}
+	}
+	for _, comp := range comps {
+		if inJob[comp.Src] != inJob[comp.Dst] {
+			t.Fatalf("cross-job flow %v -> %v", comp.Src, comp.Dst)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	topo := testTopo(t, 4)
+	base := pipelineJob(nodeRange(4), 2)
+	tests := []struct {
+		name   string
+		mutate func(*JobConfig)
+	}{
+		{"dp=1", func(c *JobConfig) { c.PP = 4; c.DP = 1 }},
+		{"tp too large", func(c *JobConfig) { c.TP = 16; c.PP = 1 }},
+		{"rank mismatch", func(c *JobConfig) { c.DP = 4 }},
+		{"node out of range", func(c *JobConfig) { c.Nodes = []topology.NodeID{0, 1, 2, 99} }},
+		{"duplicate node", func(c *JobConfig) { c.Nodes = []topology.NodeID{0, 1, 2, 2} }},
+		{"bad model", func(c *JobConfig) { c.Model = model.Spec{Name: "x"} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := NewCluster(topo, []JobConfig{cfg}, faults.Schedule{}, netsim.Config{}, nil); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	topo := testTopo(t, 4)
+	cfg := pipelineJob(nodeRange(4), 2).withDefaults()
+	g := newGrid(cfg, topo)
+	// TP=8 fills a node: rank (pp,dp,tp) lives on node dp + DP*pp at gpu tp.
+	for pp := 0; pp < 2; pp++ {
+		for dp := 0; dp < 2; dp++ {
+			for tp := 0; tp < 8; tp++ {
+				a := g.addr(pp, dp, tp)
+				wantNode := topology.NodeID(dp + 2*pp)
+				if topo.NodeOf(a) != wantNode || topo.GPUOf(a) != tp {
+					t.Fatalf("addr(%d,%d,%d) on node %d gpu %d, want node %d gpu %d",
+						pp, dp, tp, topo.NodeOf(a), topo.GPUOf(a), wantNode, tp)
+				}
+			}
+		}
+	}
+	if got := len(g.addrs()); got != 32 {
+		t.Fatalf("addrs() len = %d, want 32", got)
+	}
+	if got := len(g.stageAddrs(1, 1)); got != 8 {
+		t.Fatalf("stageAddrs len = %d, want 8", got)
+	}
+}
+
+func BenchmarkSmallClusterSecond(b *testing.B) {
+	topo, err := topology.New(topology.Spec{Nodes: 8, NodesPerLeaf: 4, Spines: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := JobConfig{
+		ID: 1, Name: "bench", Model: tinyModel,
+		TP: 8, PP: 2, DP: 4, MicroBatches: 8,
+		Nodes: nodeRange(8), GPUFLOPS: 10e12, Seed: 7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(topo, []JobConfig{cfg}, faults.Schedule{}, netsim.Config{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package llmprism is a black-box performance diagnosis library for LLM
+// training platforms, reproducing the LLMPrism system (DSN 2025).
+//
+// From switch-level network flow records alone — no tenant cooperation, no
+// code instrumentation — it progressively:
+//
+//  1. recognizes the individual training jobs running on the platform,
+//  2. identifies each job's parallelism strategy (which endpoint pairs are
+//     pipeline-parallel and which are data-parallel),
+//  3. reconstructs per-GPU training timelines with step boundaries, and
+//  4. diagnoses performance degradations (slow steps, slow DP groups,
+//     congested or degraded switches).
+//
+// The package also exposes a full platform simulator (Simulate) that stands
+// in for a production multi-tenant GPU cluster: topology, 3D-parallel
+// training jobs, a fluid network model, ERSPAN-style flow collection, and
+// fault injection — everything needed to reproduce the paper's evaluation
+// end to end.
+//
+// # Quick start
+//
+//	res, err := llmprism.Simulate(scenario)       // or load real flows
+//	report, err := llmprism.New().Analyze(res.Records, res.Topo)
+//	for _, job := range report.Jobs { ... }
+package llmprism
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// Config collects the tuning knobs of all four analysis phases.
+type Config struct {
+	Recognition jobrec.Config
+	Parallel    parallel.Config
+	Timeline    timeline.Config
+	Diagnosis   diagnose.Config
+}
+
+// Option customizes an Analyzer.
+type Option func(*Config)
+
+// WithoutRefinement disables the DP transitive-closure refinement — the
+// "LLMPrism w/o refinement" baseline of the paper's Table I.
+func WithoutRefinement() Option {
+	return func(c *Config) { c.Parallel.DisableRefinement = true }
+}
+
+// WithSigmaK sets the k of the k-sigma anomaly rule (default 3).
+func WithSigmaK(k float64) Option {
+	return func(c *Config) { c.Diagnosis.K = k }
+}
+
+// WithSwitchBucket sets the switch-level aggregation bucket width.
+func WithSwitchBucket(d time.Duration) Option {
+	return func(c *Config) { c.Diagnosis.Bucket = d }
+}
+
+// WithMaxConcurrentDPFlows enables the per-switch concurrent DP flow limit
+// check.
+func WithMaxConcurrentDPFlows(n int) Option {
+	return func(c *Config) { c.Diagnosis.MaxConcurrentDPFlows = n }
+}
+
+// WithConfig replaces the entire configuration.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// Analyzer runs the four-phase pipeline. Construct with New.
+type Analyzer struct {
+	cfg Config
+}
+
+// New returns an Analyzer with the given options applied over defaults.
+func New(opts ...Option) *Analyzer {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Analyzer{cfg: cfg}
+}
+
+// JobReport is the analysis of one recognized training job.
+type JobReport struct {
+	// Cluster is the recognized job: endpoints and servers.
+	Cluster jobrec.Cluster
+	// Records are the job's flow records (sorted by start time).
+	Records []flow.Record
+	// Types classifies each communicating pair as PP or DP.
+	Types map[flow.Pair]parallel.Type
+	// DPGroups are the job's data-parallel groups (one per pipeline
+	// stage and NIC rail).
+	DPGroups [][]flow.Addr
+	// StepsPerPair is a per-pair diagnostic from identification.
+	StepsPerPair map[flow.Pair]int
+	// Timelines maps each rank to its reconstructed timeline.
+	Timelines map[flow.Addr]*timeline.Timeline
+	// Alerts holds the job-scoped diagnosis results (cross-step and
+	// cross-group).
+	Alerts []diagnose.Alert
+}
+
+// Report is the full analysis of one flow window.
+type Report struct {
+	// Jobs holds per-job analyses, ordered by smallest endpoint.
+	Jobs []JobReport
+	// SwitchSeries aggregates per-switch DP bandwidth/flow-count series
+	// across all jobs (the paper's Fig. 5 view).
+	SwitchSeries map[flow.SwitchID][]diagnose.SwitchPoint
+	// SwitchAlerts holds switch-level diagnosis results.
+	SwitchAlerts []diagnose.Alert
+}
+
+// Alerts returns every alert in the report (job-scoped then switch-level).
+func (r *Report) Alerts() []diagnose.Alert {
+	var out []diagnose.Alert
+	for _, j := range r.Jobs {
+		out = append(out, j.Alerts...)
+	}
+	out = append(out, r.SwitchAlerts...)
+	return out
+}
+
+// Analyze runs the full pipeline over one window of flow records. mapper
+// resolves endpoints to servers (a *topology.Topology satisfies it).
+// records need not be sorted; they are not modified.
+func (a *Analyzer) Analyze(records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("llmprism: no flow records to analyze")
+	}
+	if mapper == nil {
+		return nil, fmt.Errorf("llmprism: nil server mapper")
+	}
+	sorted := make([]flow.Record, len(records))
+	copy(sorted, records)
+	flow.SortByStart(sorted)
+
+	clusters := jobrec.Recognize(sorted, mapper, a.cfg.Recognition)
+	perJob := jobrec.SplitRecords(sorted, clusters)
+
+	report := &Report{}
+	var allDPRecords []flow.Record
+	allTypes := make(map[flow.Pair]parallel.Type)
+	for i, cluster := range clusters {
+		jobRecs := perJob[i]
+		cls := parallel.Identify(jobRecs, a.cfg.Parallel)
+		tls := timeline.Reconstruct(jobRecs, cls.Types, a.cfg.Timeline)
+
+		var alerts []diagnose.Alert
+		alerts = append(alerts, diagnose.CrossStep(tls, a.cfg.Diagnosis)...)
+		alerts = append(alerts, diagnose.CrossGroup(tls, cls.DPGroups, a.cfg.Diagnosis)...)
+
+		report.Jobs = append(report.Jobs, JobReport{
+			Cluster:      cluster,
+			Records:      jobRecs,
+			Types:        cls.Types,
+			DPGroups:     cls.DPGroups,
+			StepsPerPair: cls.StepsPerPair,
+			Timelines:    tls,
+			Alerts:       alerts,
+		})
+		allDPRecords = append(allDPRecords, parallel.DPRecords(jobRecs, cls.Types)...)
+		for p, t := range cls.Types {
+			allTypes[p] = t
+		}
+	}
+
+	flow.SortByStart(allDPRecords)
+	report.SwitchSeries = diagnose.SwitchSeries(allDPRecords, allTypes, a.cfg.Diagnosis)
+	report.SwitchAlerts = diagnose.SwitchDiagnose(report.SwitchSeries, a.cfg.Diagnosis)
+	return report, nil
+}

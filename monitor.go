@@ -1,0 +1,94 @@
+package llmprism
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// Monitor performs continuous windowed analysis over an incoming flow
+// record stream, the deployment mode of the paper: the collector feeds
+// records as they are exported, and every completed window is analyzed
+// independently, yielding reports (and their alerts) in order.
+//
+// Monitor is not safe for concurrent use; feed it from one goroutine.
+type Monitor struct {
+	analyzer *Analyzer
+	mapper   jobrec.ServerMapper
+	window   time.Duration
+	buf      []flow.Record
+	start    time.Time // current window start (zero until first record)
+}
+
+// NewMonitor returns a Monitor that analyzes consecutive windows of the
+// given width (default 1 minute, the paper's operating point).
+func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Duration) (*Monitor, error) {
+	if analyzer == nil {
+		return nil, fmt.Errorf("llmprism: nil analyzer")
+	}
+	if mapper == nil {
+		return nil, fmt.Errorf("llmprism: nil server mapper")
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &Monitor{analyzer: analyzer, mapper: mapper, window: window}, nil
+}
+
+// Window returns the monitor's window width.
+func (m *Monitor) Window() time.Duration { return m.window }
+
+// Pending returns the number of buffered records awaiting a full window.
+func (m *Monitor) Pending() int { return len(m.buf) }
+
+// Feed ingests records (in roughly chronological order) and analyzes every
+// window that the newest record closes. It returns one report per
+// completed window, oldest first.
+func (m *Monitor) Feed(records []FlowRecord) ([]*Report, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	m.buf = append(m.buf, records...)
+	flow.SortByStart(m.buf)
+	if m.start.IsZero() {
+		m.start = m.buf[0].Start
+	}
+
+	var reports []*Report
+	newest := m.buf[len(m.buf)-1].Start
+	for newest.Sub(m.start) >= m.window {
+		end := m.start.Add(m.window)
+		cut := 0
+		for cut < len(m.buf) && m.buf[cut].Start.Before(end) {
+			cut++
+		}
+		windowRecs := m.buf[:cut]
+		if len(windowRecs) > 0 {
+			report, err := m.analyzer.Analyze(windowRecs, m.mapper)
+			if err != nil {
+				return reports, fmt.Errorf("llmprism: monitor window at %v: %w", m.start, err)
+			}
+			reports = append(reports, report)
+		}
+		m.buf = m.buf[cut:]
+		m.start = end
+	}
+	return reports, nil
+}
+
+// Flush analyzes whatever partial window remains. It returns nil when no
+// records are buffered.
+func (m *Monitor) Flush() (*Report, error) {
+	if len(m.buf) == 0 {
+		return nil, nil
+	}
+	report, err := m.analyzer.Analyze(m.buf, m.mapper)
+	m.buf = nil
+	m.start = time.Time{}
+	if err != nil {
+		return nil, fmt.Errorf("llmprism: monitor flush: %w", err)
+	}
+	return report, nil
+}

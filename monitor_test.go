@@ -1,0 +1,139 @@
+package llmprism
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+func monitorFixture(t *testing.T) (*Monitor, *topology.Topology) {
+	t.Helper()
+	topo, err := topology.New(TopologySpec{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(New(), topo, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, topo
+}
+
+func monitorRecord(id uint64, at time.Duration, topo *topology.Topology) FlowRecord {
+	epoch := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+	return FlowRecord{
+		ID:    id,
+		Start: epoch.Add(at),
+		Src:   topo.AddrOf(0, 0),
+		Dst:   topo.AddrOf(1, 0),
+		Bytes: 1000,
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	topo, err := topology.New(TopologySpec{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonitor(nil, topo, time.Minute); err == nil {
+		t.Error("nil analyzer accepted")
+	}
+	if _, err := NewMonitor(New(), nil, time.Minute); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	m, err := NewMonitor(New(), topo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Window() != time.Minute {
+		t.Errorf("default window = %v, want 1m", m.Window())
+	}
+}
+
+func TestMonitorWindowing(t *testing.T) {
+	m, topo := monitorFixture(t)
+
+	// First batch covers 0..8s: no window closes.
+	var batch []FlowRecord
+	for i := 0; i < 8; i++ {
+		batch = append(batch, monitorRecord(uint64(i+1), time.Duration(i)*time.Second, topo))
+	}
+	reports, err := m.Feed(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("premature reports: %d", len(reports))
+	}
+	if m.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", m.Pending())
+	}
+
+	// A record at 25s closes windows [0,10) and [10,20).
+	reports, err = m.Feed([]FlowRecord{monitorRecord(100, 25*time.Second, topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		// Window [10,20) holds no records and is skipped.
+		t.Fatalf("reports = %d, want 1 (empty window skipped)", len(reports))
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", m.Pending())
+	}
+
+	// Flush analyzes the remainder.
+	report, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == nil {
+		t.Fatal("flush returned nil report")
+	}
+	if m.Pending() != 0 {
+		t.Errorf("Pending after flush = %d", m.Pending())
+	}
+	if r, err := m.Flush(); err != nil || r != nil {
+		t.Error("second flush should be a nil no-op")
+	}
+}
+
+func TestMonitorEmptyFeed(t *testing.T) {
+	m, _ := monitorFixture(t)
+	reports, err := m.Feed(nil)
+	if err != nil || reports != nil {
+		t.Error("empty feed should be a no-op")
+	}
+}
+
+func TestMonitorOutOfOrderTolerated(t *testing.T) {
+	m, topo := monitorFixture(t)
+	// Slightly out-of-order arrivals within the buffer must not break
+	// windowing (the buffer is re-sorted on every feed).
+	batch := []FlowRecord{
+		monitorRecord(2, 3*time.Second, topo),
+		monitorRecord(1, 1*time.Second, topo),
+		monitorRecord(3, 12*time.Second, topo),
+	}
+	reports, err := m.Feed(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	if m.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", m.Pending())
+	}
+}
+
+func TestFlowRecordAliasUsable(t *testing.T) {
+	// The public aliases must interoperate with internal types.
+	var r FlowRecord
+	r.Src, r.Dst = 1, 2
+	if r.Pair() != flow.MakePair(1, 2) {
+		t.Error("alias type lost methods")
+	}
+}

@@ -1,0 +1,125 @@
+package llmprism
+
+import (
+	"io"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/faults"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/model"
+	"github.com/llmprism/llmprism/internal/netsim"
+	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/topology"
+	"github.com/llmprism/llmprism/internal/trainsim"
+	"github.com/llmprism/llmprism/internal/truth"
+)
+
+// Public aliases of the library's data types, so downstream users can name
+// everything through this package while the implementation lives in
+// internal packages.
+type (
+	// FlowRecord is one collected network flow (ERSPAN-style).
+	FlowRecord = flow.Record
+	// Addr is an opaque NIC/GPU endpoint address.
+	Addr = flow.Addr
+	// Pair is an unordered endpoint pair.
+	Pair = flow.Pair
+	// SwitchID identifies a fabric switch.
+	SwitchID = flow.SwitchID
+
+	// Topology is the physical fabric model.
+	Topology = topology.Topology
+	// TopologySpec parameterizes a fabric.
+	TopologySpec = topology.Spec
+	// NodeID identifies a physical server.
+	NodeID = topology.NodeID
+
+	// JobCluster is a recognized training job (phase 1 output).
+	JobCluster = jobrec.Cluster
+	// PairType is an inferred communication type (phase 2 output).
+	PairType = parallel.Type
+	// Timeline is a reconstructed per-rank schedule (phase 3 output).
+	Timeline = timeline.Timeline
+	// TimelineStep is one reconstructed training step.
+	TimelineStep = timeline.Step
+	// TimelineEvent is one communication event on a timeline.
+	TimelineEvent = timeline.Event
+	// Alert is a diagnosis finding (phase 4 output).
+	Alert = diagnose.Alert
+	// AlertKind classifies alerts.
+	AlertKind = diagnose.AlertKind
+	// SwitchPoint is one bucket of a per-switch DP bandwidth series.
+	SwitchPoint = diagnose.SwitchPoint
+
+	// Scenario specifies a platform simulation.
+	Scenario = platform.Scenario
+	// SimResult is the output of Simulate.
+	SimResult = platform.Result
+	// JobPlan is a compact tenant-job request for PlanJobs.
+	JobPlan = platform.JobPlan
+	// JobConfig fully describes a simulated training job.
+	JobConfig = trainsim.JobConfig
+	// CommStyle selects ZeRO or all-reduce data parallelism.
+	CommStyle = trainsim.CommStyle
+	// ModelSpec describes a transformer model.
+	ModelSpec = model.Spec
+	// NetConfig configures the fluid network simulator.
+	NetConfig = netsim.Config
+	// FaultSchedule is a set of injected anomalies.
+	FaultSchedule = faults.Schedule
+	// Fault is one injected anomaly.
+	Fault = faults.Fault
+	// GroundTruth is the simulation's reference record for scoring.
+	GroundTruth = truth.Platform
+)
+
+// Re-exported enum values.
+const (
+	TypePP = parallel.TypePP
+	TypeDP = parallel.TypeDP
+
+	AlertCrossStep       = diagnose.AlertCrossStep
+	AlertCrossGroup      = diagnose.AlertCrossGroup
+	AlertSwitchFlowCount = diagnose.AlertSwitchFlowCount
+	AlertSwitchBandwidth = diagnose.AlertSwitchBandwidth
+
+	StyleZeRO      = trainsim.StyleZeRO
+	StyleAllReduce = trainsim.StyleAllReduce
+
+	FaultSwitchDegrade = faults.KindSwitchDegrade
+	FaultLinkDegrade   = faults.KindLinkDegrade
+	FaultRankSlowdown  = faults.KindRankSlowdown
+)
+
+// Predefined model specs (LLaMA-family sizes).
+var (
+	Llama7B  = model.Llama7B
+	Llama13B = model.Llama13B
+	Llama33B = model.Llama33B
+	Llama70B = model.Llama70B
+)
+
+// NewTopology builds a fabric from a spec.
+func NewTopology(spec TopologySpec) (*Topology, error) { return topology.New(spec) }
+
+// ReadTopology loads a fabric spec written with Topology.WriteJSON.
+func ReadTopology(r io.Reader) (*Topology, error) { return topology.ReadJSON(r) }
+
+// Simulate runs a platform scenario and returns flows plus ground truth.
+func Simulate(s Scenario) (*SimResult, error) { return platform.Run(s) }
+
+// PlanJobs expands compact job plans into validated job configs.
+func PlanJobs(spec TopologySpec, plans []JobPlan, seed int64) ([]JobConfig, error) {
+	return platform.PlanJobs(spec, plans, seed)
+}
+
+// ReadFlowsCSV / WriteFlowsCSV read and write the collector CSV format.
+func ReadFlowsCSV(r io.Reader) ([]FlowRecord, error)  { return flow.ReadCSV(r) }
+func WriteFlowsCSV(w io.Writer, f []FlowRecord) error { return flow.WriteCSV(w, f) }
+
+// ReadFlowsJSONL / WriteFlowsJSONL read and write the JSONL flow format.
+func ReadFlowsJSONL(r io.Reader) ([]FlowRecord, error)  { return flow.ReadJSONL(r) }
+func WriteFlowsJSONL(w io.Writer, f []FlowRecord) error { return flow.WriteJSONL(w, f) }
