@@ -1,0 +1,157 @@
+package llmprism
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// concurrencyTrace simulates a three-job window once per test binary; the
+// determinism tests below re-analyze it at several worker counts.
+var (
+	concOnce    sync.Once
+	concRecords []FlowRecord
+	concTopo    *Topology
+	concErr     error
+)
+
+func concurrencyTrace(t testing.TB) ([]FlowRecord, *Topology) {
+	t.Helper()
+	concOnce.Do(func() {
+		topoSpec := TopologySpec{Nodes: 24, NodesPerLeaf: 8, Spines: 4}
+		jobs, err := PlanJobs(topoSpec, []JobPlan{
+			{Nodes: 8, TargetStep: 2 * time.Second},
+			{Nodes: 8, TargetStep: 3 * time.Second},
+			{Nodes: 4, TargetStep: 2 * time.Second},
+		}, 23)
+		if err != nil {
+			concErr = err
+			return
+		}
+		res, err := Simulate(Scenario{
+			Name: "concurrency", Topo: topoSpec, Jobs: jobs, Horizon: 20 * time.Second,
+		})
+		if err != nil {
+			concErr = err
+			return
+		}
+		concRecords = res.Records
+		concTopo = res.Topo
+	})
+	if concErr != nil {
+		t.Fatal(concErr)
+	}
+	return concRecords, concTopo
+}
+
+// TestAnalyzeContextMatchesSequential is the pipeline's determinism
+// guarantee: the concurrent analysis of a multi-job window must be
+// deep-equal — including float-typed alert values and switch series — to
+// the sequential WithWorkers(1) pipeline's. Run with -race to also verify
+// the fan-out is data-race-free.
+func TestAnalyzeContextMatchesSequential(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+	seq, err := New(WithWorkers(1)).Analyze(records, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3 (need a multi-job window to exercise the pool)", len(seq.Jobs))
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := New(WithWorkers(workers)).AnalyzeContext(context.Background(), records, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: report diverges from sequential pipeline", workers)
+		}
+	}
+}
+
+// TestAnalyzeJobOrderDeterministic pins the merge order contract: jobs are
+// reported by smallest endpoint regardless of which worker finishes first.
+func TestAnalyzeJobOrderDeterministic(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+	report, err := New(WithWorkers(8)).AnalyzeContext(context.Background(), records, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(report.Jobs); i++ {
+		prev := report.Jobs[i-1].Cluster.Endpoints[0]
+		cur := report.Jobs[i].Cluster.Endpoints[0]
+		if cur <= prev {
+			t.Errorf("job %d smallest endpoint %v not after job %d's %v", i, cur, i-1, prev)
+		}
+	}
+}
+
+func TestAnalyzeContextCanceled(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := New(WithWorkers(workers)).AnalyzeContext(ctx, records, topo)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMonitorFeedContextMatchesFeed(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+
+	feedAll := func(m *Monitor) []*Report {
+		t.Helper()
+		var reports []*Report
+		got, err := m.FeedContext(context.Background(), records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, got...)
+		tail, err := m.FlushContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail != nil {
+			reports = append(reports, tail)
+		}
+		return reports
+	}
+
+	mSeq, err := NewMonitor(New(WithWorkers(1)), topo, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPar, err := NewMonitor(New(WithWorkers(8)), topo, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := feedAll(mSeq)
+	par := feedAll(mPar)
+	if len(seq) < 2 {
+		t.Fatalf("windows analyzed = %d, want >= 2", len(seq))
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("concurrent monitor reports diverge from sequential monitor's")
+	}
+}
+
+func TestMonitorFeedContextCanceled(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+	m, err := NewMonitor(New(), topo, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.FeedContext(ctx, records); err == nil {
+		t.Error("canceled context did not abort window analysis")
+	}
+	if m.Pending() == 0 {
+		t.Error("interrupted window's records should stay buffered")
+	}
+}

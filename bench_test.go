@@ -7,6 +7,9 @@ package llmprism
 // as custom benchmark metrics.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -20,7 +23,7 @@ import (
 // over a multi-tenant cluster from a 1-minute flow window.
 func BenchmarkFig3JobRecognition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(experiments.Options{Scale: 0.15, Seed: 1})
+		res, err := experiments.Fig3(context.Background(), experiments.Options{Scale: 0.15, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +45,7 @@ func BenchmarkTable1Parallelism(b *testing.B) {
 		TargetStep:  10 * time.Second,
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(cfg, experiments.Options{Seed: 1})
+		res, err := experiments.Table1(context.Background(), cfg, experiments.Options{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +58,7 @@ func BenchmarkTable1Parallelism(b *testing.B) {
 // reconstruction error against ground truth.
 func BenchmarkFig4Timeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(experiments.Options{Scale: 0.15, Seed: 1})
+		res, err := experiments.Fig4(context.Background(), experiments.Options{Scale: 0.15, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +70,7 @@ func BenchmarkFig4Timeline(b *testing.B) {
 // bandwidth diagnosis under spine degradation.
 func BenchmarkFig5SwitchDiagnosis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(experiments.Options{Scale: 0.35, Seed: 1})
+		res, err := experiments.Fig5(context.Background(), experiments.Options{Scale: 0.35, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +82,7 @@ func BenchmarkFig5SwitchDiagnosis(b *testing.B) {
 // BenchmarkCrossStepDiagnosis regenerates the straggler half of E5 (§V-D).
 func BenchmarkCrossStepDiagnosis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Diagnosis(experiments.Options{Seed: 1})
+		res, err := experiments.Diagnosis(context.Background(), experiments.Options{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +94,7 @@ func BenchmarkCrossStepDiagnosis(b *testing.B) {
 // BenchmarkCrossGroupDiagnosis regenerates the slow-DP-group half of E5.
 func BenchmarkCrossGroupDiagnosis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Diagnosis(experiments.Options{Seed: 2})
+		res, err := experiments.Diagnosis(context.Background(), experiments.Options{Seed: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +107,7 @@ func BenchmarkCrossGroupDiagnosis(b *testing.B) {
 // model.
 func BenchmarkAblationNetsimMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationNetsimMode(experiments.Options{Scale: 0.15, Seed: 1})
+		res, err := experiments.AblationNetsimMode(context.Background(), experiments.Options{Scale: 0.15, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +119,7 @@ func BenchmarkAblationNetsimMode(b *testing.B) {
 // BenchmarkAblationStepSplitter regenerates A2: BOCD vs naive splitting.
 func BenchmarkAblationStepSplitter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationStepSplitter(experiments.Options{Seed: 1})
+		res, err := experiments.AblationStepSplitter(context.Background(), experiments.Options{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +131,7 @@ func BenchmarkAblationStepSplitter(b *testing.B) {
 // BenchmarkAblationRingCount regenerates A3: ring count vs refinement.
 func BenchmarkAblationRingCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRingCount(experiments.Options{Scale: 0.5, Seed: 1})
+		res, err := experiments.AblationRingCount(context.Background(), experiments.Options{Scale: 0.5, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,6 +190,7 @@ func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
 // BenchmarkAnalyzePipeline measures the cost of the full four-phase
 // analysis over one minute of flows from a 256-GPU platform — the quantity
 // that determines whether continuous monitoring keeps up with collection.
+// It runs at the default worker count (GOMAXPROCS).
 func BenchmarkAnalyzePipeline(b *testing.B) {
 	records, topo := benchTrace(b)
 	analyzer := New()
@@ -197,6 +201,29 @@ func BenchmarkAnalyzePipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkAnalyze measures the same pipeline at fixed worker counts over
+// the multi-job trace; workers=1 is the sequential baseline the multi-core
+// speedup is read against (the three jobs' identify → timeline → diagnose
+// chains dominate the runtime and fan out per job).
+func BenchmarkAnalyze(b *testing.B) {
+	records, topo := benchTrace(b)
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			analyzer := New(WithWorkers(workers))
+			for i := 0; i < b.N; i++ {
+				if _, err := analyzer.AnalyzeContext(context.Background(), records, topo); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(records)), "records/op")
+		})
+	}
 }
 
 // BenchmarkMonitorFeed measures streaming ingestion in 5-second batches.

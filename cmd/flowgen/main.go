@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,27 +28,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes     = flag.Int("nodes", 48, "fabric size in servers (8 GPUs each)")
-		perLeaf   = flag.Int("nodes-per-leaf", 8, "servers per leaf switch")
-		spines    = flag.Int("spines", 8, "spine switch count")
-		jobsSpec  = flag.String("jobs", "16,16,8", "comma-separated node counts of tenant jobs")
-		minutes   = flag.Float64("minutes", 3, "simulated duration in minutes")
-		stepSec   = flag.Float64("step", 10, "target training-step duration in seconds")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		loss      = flag.Float64("loss", 0.001, "collector record loss probability")
-		flowsPath = flag.String("flows", "flows.csv", "output flow records (CSV, or .jsonl)")
-		topoPath  = flag.String("topo", "topo.json", "output topology spec (JSON)")
-		degrade   = flag.String("degrade-switch", "", "inject a mid-run switch degradation, e.g. 'spine:1:0.2'")
+		nodes     = fs.Int("nodes", 48, "fabric size in servers (8 GPUs each)")
+		perLeaf   = fs.Int("nodes-per-leaf", 8, "servers per leaf switch")
+		spines    = fs.Int("spines", 8, "spine switch count")
+		jobsSpec  = fs.String("jobs", "16,16,8", "comma-separated node counts of tenant jobs")
+		minutes   = fs.Float64("minutes", 3, "simulated duration in minutes")
+		stepSec   = fs.Float64("step", 10, "target training-step duration in seconds")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		loss      = fs.Float64("loss", 0.001, "collector record loss probability")
+		flowsPath = fs.String("flows", "flows.csv", "output flow records (CSV, or .jsonl)")
+		topoPath  = fs.String("topo", "topo.json", "output topology spec (JSON)")
+		degrade   = fs.String("degrade-switch", "", "inject a mid-run switch degradation, e.g. 'spine:1:0.2'")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var plans []platform.JobPlan
 	for _, part := range strings.Split(*jobsSpec, ",") {
@@ -99,9 +108,9 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("simulated %d jobs on %d GPUs for %v\n",
+	fmt.Fprintf(stdout, "simulated %d jobs on %d GPUs for %v\n",
 		len(res.Truth.Jobs), res.Topo.Endpoints(), horizon)
-	fmt.Printf("wrote %d flow records to %s (%d lost by collector), topology to %s\n",
+	fmt.Fprintf(stdout, "wrote %d flow records to %s (%d lost by collector), topology to %s\n",
 		len(res.Records), *flowsPath, res.Lost, *topoPath)
 	return nil
 }

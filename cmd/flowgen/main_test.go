@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesFlowsAndTopo(t *testing.T) {
+	dir := t.TempDir()
+	flows := filepath.Join(dir, "flows.csv")
+	topo := filepath.Join(dir, "topo.json")
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "8", "-nodes-per-leaf", "4", "-spines", "2",
+		"-jobs", "4,4", "-minutes", "0.15", "-step", "2", "-seed", "7",
+		"-flows", flows, "-topo", topo,
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "simulated 2 jobs") {
+		t.Errorf("output missing job summary: %q", out.String())
+	}
+	for _, path := range []string{flows, topo} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("output file missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestRunDegradeSwitchFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "8", "-nodes-per-leaf", "4", "-spines", "2",
+		"-jobs", "8", "-minutes", "0.15", "-step", "2",
+		"-flows", filepath.Join(dir, "f.csv"), "-topo", filepath.Join(dir, "t.json"),
+		"-degrade-switch", "spine:1:0.2",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, &out, &errOut); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "-nodes") {
+		t.Errorf("usage text missing from stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-jobs", "four"}, &out, &out); err == nil {
+		t.Error("unparsable -jobs accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-degrade-switch", "bogus"}, &out, &out); err == nil {
+		t.Error("malformed -degrade-switch accepted")
+	}
+}

@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	llmprism analyze  -flows flows.csv -topo topo.json [-alerts-only]
+//	llmprism analyze  -flows flows.csv -topo topo.json [-alerts-only] [-workers 8]
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
+//
+// -workers bounds the per-job fan-out of the analysis pipeline
+// (0 = GOMAXPROCS); the report is identical for any value.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -26,18 +32,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "llmprism:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	if len(os.Args) < 2 {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
 		return fmt.Errorf("usage: llmprism <analyze|timeline|switches> [flags]")
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		flowsPath  = fs.String("flows", "flows.csv", "flow records (CSV or .jsonl)")
 		topoPath   = fs.String("topo", "topo.json", "topology spec (JSON)")
@@ -46,8 +53,12 @@ func run() error {
 		ranks      = fs.Int("ranks", 8, "ranks to render (timeline)")
 		width      = fs.Int("width", 120, "render width in cells (timeline)")
 		bucket     = fs.Duration("bucket", time.Minute, "aggregation bucket (switches)")
+		workers    = fs.Int("workers", 0, "per-job analysis fan-out (0 = GOMAXPROCS)")
 	)
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 
@@ -55,21 +66,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	analyzer := llmprism.New(llmprism.WithSwitchBucket(*bucket))
-	report, err := analyzer.Analyze(records, topo)
+	analyzer := llmprism.New(
+		llmprism.WithSwitchBucket(*bucket),
+		llmprism.WithWorkers(*workers),
+	)
+	report, err := analyzer.AnalyzeContext(ctx, records, topo)
 	if err != nil {
 		return err
 	}
 
 	switch cmd {
 	case "analyze":
-		return printAnalysis(report, topo, *alertsOnly)
+		return printAnalysis(stdout, report, topo, *alertsOnly)
 	case "timeline":
-		return printTimeline(report, *jobIdx, *ranks, *width)
+		return printTimeline(stdout, report, *jobIdx, *ranks, *width)
 	case "switches":
-		fmt.Print(viz.BandwidthSeries(report.SwitchSeries, topo.SwitchName))
-		fmt.Println("\nswitch-level alerts:")
-		fmt.Print(viz.AlertList(report.SwitchAlerts))
+		fmt.Fprint(stdout, viz.BandwidthSeries(report.SwitchSeries, topo.SwitchName))
+		fmt.Fprintln(stdout, "\nswitch-level alerts:")
+		fmt.Fprint(stdout, viz.AlertList(report.SwitchAlerts))
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (want analyze, timeline or switches)", cmd)
@@ -103,9 +117,9 @@ func load(flowsPath, topoPath string) ([]flow.Record, *topology.Topology, error)
 	return records, topo, nil
 }
 
-func printAnalysis(report *llmprism.Report, topo *topology.Topology, alertsOnly bool) error {
+func printAnalysis(stdout io.Writer, report *llmprism.Report, topo *topology.Topology, alertsOnly bool) error {
 	if !alertsOnly {
-		fmt.Printf("recognized %d training jobs\n\n", len(report.Jobs))
+		fmt.Fprintf(stdout, "recognized %d training jobs\n\n", len(report.Jobs))
 		for i, job := range report.Jobs {
 			var pp, dp int
 			for _, t := range job.Types {
@@ -130,19 +144,19 @@ func printAnalysis(report *llmprism.Report, topo *topology.Topology, alertsOnly 
 			if n > 0 {
 				meanStep /= time.Duration(n)
 			}
-			fmt.Printf("job %d: %d GPUs on %d servers, %s, %d DP groups, %d DP pairs, %d PP pairs, mean step %v\n",
+			fmt.Fprintf(stdout, "job %d: %d GPUs on %d servers, %s, %d DP groups, %d DP pairs, %d PP pairs, mean step %v\n",
 				i, len(job.Cluster.Endpoints), len(job.Cluster.Servers), kind,
 				len(job.DPGroups), dp, pp, meanStep.Round(time.Millisecond))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	alerts := report.Alerts()
-	fmt.Printf("alerts (%d):\n", len(alerts))
-	fmt.Print(viz.AlertList(alerts))
+	fmt.Fprintf(stdout, "alerts (%d):\n", len(alerts))
+	fmt.Fprint(stdout, viz.AlertList(alerts))
 	return nil
 }
 
-func printTimeline(report *llmprism.Report, jobIdx, nRanks, width int) error {
+func printTimeline(stdout io.Writer, report *llmprism.Report, jobIdx, nRanks, width int) error {
 	if jobIdx < 0 || jobIdx >= len(report.Jobs) {
 		return fmt.Errorf("job index %d out of range (have %d jobs)", jobIdx, len(report.Jobs))
 	}
@@ -170,6 +184,6 @@ func printTimeline(report *llmprism.Report, jobIdx, nRanks, width int) error {
 	if span <= 0 {
 		return fmt.Errorf("job %d has empty reconstructed steps", jobIdx)
 	}
-	fmt.Print(viz.TimelineSwimlanes(job.Timelines, ranks, from, from.Add(span), width))
+	fmt.Fprint(stdout, viz.TimelineSwimlanes(job.Timelines, ranks, from, from.Add(span), width))
 	return nil
 }

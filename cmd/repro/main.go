@@ -6,84 +6,85 @@
 //
 //	repro                  # run everything at paper scale
 //	repro -exp table1      # one experiment: fig3|table1|fig4|fig5|diagnosis|a1|a2|a3
+//	repro -exp fig3,fig5   # a comma-separated subset
 //	repro -scale 0.25      # reduced scale for quick runs
 //	repro -seed 7
+//	repro -workers 8       # experiment fan-out (0 = GOMAXPROCS)
 //
 // Paper-scale runs simulate hundreds of millions of bytes of flow records
-// and take minutes per experiment; -scale trades fidelity for time.
+// and take minutes per experiment; -scale trades fidelity for time and
+// -workers runs independent experiments (and their internal simulations)
+// concurrently, the budget shared between the two levels. Results are
+// bit-identical for any -workers value; only the wall-clock lines differ.
+// Reports print in a fixed order as experiments complete.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"github.com/llmprism/llmprism/internal/experiments"
 )
 
-type runner struct {
-	name string
-	desc string
-	run  func(experiments.Options) (fmt.Stringer, error)
-}
-
-// stringerFunc adapts a Report() method to fmt.Stringer.
-type report struct{ text string }
-
-func (r report) String() string { return r.text }
-
-func wrap[T interface{ Report() string }](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
-	return func(o experiments.Options) (fmt.Stringer, error) {
-		res, err := f(o)
-		if err != nil {
-			return nil, err
-		}
-		return report{res.Report()}, nil
-	}
-}
-
 func main() {
-	var (
-		exp   = flag.String("exp", "all", "experiment: all|fig3|table1|fig4|fig5|diagnosis|a1|a2|a3")
-		scale = flag.Float64("scale", 1, "scenario scale in (0, 1]")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-	)
-	flag.Parse()
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
-
-	runners := []runner{
-		{"fig3", "E1: job recognition (Fig. 3)", wrap(experiments.Fig3)},
-		{"table1", "E2: parallelism identification (Table I)", wrap(func(o experiments.Options) (*experiments.Table1Result, error) {
-			return experiments.Table1(experiments.Table1Config{}, o)
-		})},
-		{"fig4", "E3: timeline reconstruction (§V-C, Fig. 4)", wrap(experiments.Fig4)},
-		{"fig5", "E4: switch-level diagnosis (Fig. 5)", wrap(experiments.Fig5)},
-		{"diagnosis", "E5: cross-step / cross-group diagnosis (§V-D)", wrap(experiments.Diagnosis)},
-		{"a1", "A1: netsim mode ablation", wrap(experiments.AblationNetsimMode)},
-		{"a2", "A2: step-splitter ablation", wrap(experiments.AblationStepSplitter)},
-		{"a3", "A3: ring-count ablation", wrap(experiments.AblationRingCount)},
-	}
-
-	ran := 0
-	for _, r := range runners {
-		if *exp != "all" && !strings.EqualFold(*exp, r.name) {
-			continue
-		}
-		ran++
-		fmt.Printf("=== %s ===\n", r.desc)
-		start := time.Now()
-		res, err := r.run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.name, err)
-			os.Exit(1)
-		}
-		fmt.Println(res)
-		fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment(s), comma-separated: all|"+strings.Join(experiments.Names(), "|"))
+		scale   = fs.Float64("scale", 1, "scenario scale in (0, 1]")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		workers = fs.Int("workers", 0, "concurrent experiments and per-experiment simulations (0 = GOMAXPROCS)")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	var names []string
+	if !strings.EqualFold(*exp, "all") {
+		for _, name := range strings.Split(*exp, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+
+	start := time.Now()
+	var firstErr error
+	err := experiments.RunStream(ctx, names, opts, *workers, func(o experiments.Outcome) {
+		fmt.Fprintf(stdout, "=== %s ===\n", o.Spec.Desc)
+		if o.Err != nil {
+			fmt.Fprintf(stdout, "FAILED: %v\n\n", o.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", o.Spec.Name, o.Err)
+			}
+			return
+		}
+		fmt.Fprintln(stdout, o.Result.Report())
+		fmt.Fprintf(stdout, "(experiment %v, total elapsed %v)\n\n",
+			o.Wall.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	})
+	if err != nil {
+		return err
+	}
+	return firstErr
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-exp", "a2", "-scale", "0.5", "-seed", "3", "-workers", "2",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "A2: step-splitter ablation") {
+		t.Errorf("output missing experiment header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BOCD") {
+		t.Errorf("output missing report body:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two experiments")
+	}
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-exp", "a2,fig3", "-scale", "0.1", "-seed", "3", "-workers", "2",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry order, not flag order: fig3 prints before a2.
+	fig3At := strings.Index(out.String(), "E1: job recognition")
+	a2At := strings.Index(out.String(), "A2: step-splitter ablation")
+	if fig3At < 0 || a2At < 0 || a2At < fig3At {
+		t.Errorf("subset output wrong or misordered (fig3@%d, a2@%d):\n%s", fig3At, a2At, out.String())
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out, &errOut); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "-workers") {
+		t.Errorf("usage text missing from stderr:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage text leaked to stdout:\n%s", out.String())
+	}
+}
+
+func TestRunFlagAndNameErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-exp", "nope"}, &out, &out); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown experiment: err = %v", err)
+	}
+	if err := run(context.Background(), []string{"-scale", "huge"}, &out, &out); err == nil {
+		t.Error("unparsable -scale accepted")
+	}
+}

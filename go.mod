@@ -1,0 +1,3 @@
+module github.com/llmprism/llmprism
+
+go 1.24

@@ -238,50 +238,106 @@ type SwitchPoint struct {
 	MeanGbps float64
 }
 
-// SwitchSeries aggregates DP flows per switch into time-bucket series —
-// the quantity plotted in the paper's Fig. 5.
-func SwitchSeries(records []flow.Record, types map[flow.Pair]parallel.Type, cfg Config) map[flow.SwitchID][]SwitchPoint {
-	cfg = cfg.withDefaults()
-	type acc struct {
-		flows int
-		sum   float64
+// SeriesAccum incrementally aggregates DP flows per switch into time-bucket
+// cells. It lets each analysis shard (one job, one goroutine) build a
+// private partial aggregation that is later merged into the platform-wide
+// series: per-cell counters and bandwidth sums combine exactly, and merging
+// shards in a fixed order fixes the floating-point summation order, so the
+// merged series is identical for any worker count.
+//
+// A SeriesAccum is not safe for concurrent use; build one per goroutine and
+// Merge them afterwards.
+type SeriesAccum struct {
+	cfg       Config
+	perSwitch map[flow.SwitchID]map[time.Time]*seriesCell
+}
+
+type seriesCell struct {
+	flows int
+	sum   float64
+}
+
+// NewSeriesAccum returns an empty accumulator using cfg's bucket width.
+func NewSeriesAccum(cfg Config) *SeriesAccum {
+	return &SeriesAccum{
+		cfg:       cfg.withDefaults(),
+		perSwitch: make(map[flow.SwitchID]map[time.Time]*seriesCell),
 	}
-	perSwitch := make(map[flow.SwitchID]map[time.Time]*acc)
+}
+
+// Add folds the DP-classified records into the accumulator.
+func (a *SeriesAccum) Add(records []flow.Record, types map[flow.Pair]parallel.Type) {
 	for _, r := range records {
 		if types[r.Pair()] != parallel.TypeDP {
 			continue
 		}
-		bucket := r.Start.Truncate(cfg.Bucket)
+		bucket := r.Start.Truncate(a.cfg.Bucket)
 		gbps := r.Gbps()
 		for _, sw := range r.Switches {
-			m := perSwitch[sw]
-			if m == nil {
-				m = make(map[time.Time]*acc)
-				perSwitch[sw] = m
-			}
-			a := m[bucket]
-			if a == nil {
-				a = &acc{}
-				m[bucket] = a
-			}
-			a.flows++
-			a.sum += gbps
+			a.cell(sw, bucket).add(1, gbps)
 		}
 	}
-	out := make(map[flow.SwitchID][]SwitchPoint, len(perSwitch))
-	for sw, buckets := range perSwitch {
+}
+
+// Merge folds b's cells into a. b may be nil or empty; it is not modified.
+// Each (switch, bucket) cell combines independently, so the map iteration
+// order inside a single Merge cannot affect the result — only the order of
+// Merge calls does, and callers keep that fixed (job index order).
+func (a *SeriesAccum) Merge(b *SeriesAccum) {
+	if b == nil {
+		return
+	}
+	for sw, cells := range b.perSwitch {
+		for bucket, c := range cells {
+			a.cell(sw, bucket).add(c.flows, c.sum)
+		}
+	}
+}
+
+func (a *SeriesAccum) cell(sw flow.SwitchID, bucket time.Time) *seriesCell {
+	m := a.perSwitch[sw]
+	if m == nil {
+		m = make(map[time.Time]*seriesCell)
+		a.perSwitch[sw] = m
+	}
+	c := m[bucket]
+	if c == nil {
+		c = &seriesCell{}
+		m[bucket] = c
+	}
+	return c
+}
+
+func (c *seriesCell) add(flows int, sum float64) {
+	c.flows += flows
+	c.sum += sum
+}
+
+// Series materializes the accumulated per-switch series, each sorted by
+// bucket.
+func (a *SeriesAccum) Series() map[flow.SwitchID][]SwitchPoint {
+	out := make(map[flow.SwitchID][]SwitchPoint, len(a.perSwitch))
+	for sw, buckets := range a.perSwitch {
 		points := make([]SwitchPoint, 0, len(buckets))
-		for b, a := range buckets {
+		for b, c := range buckets {
 			points = append(points, SwitchPoint{
 				Bucket:   b,
-				Flows:    a.flows,
-				MeanGbps: a.sum / float64(a.flows),
+				Flows:    c.flows,
+				MeanGbps: c.sum / float64(c.flows),
 			})
 		}
 		sort.Slice(points, func(i, j int) bool { return points[i].Bucket.Before(points[j].Bucket) })
 		out[sw] = points
 	}
 	return out
+}
+
+// SwitchSeries aggregates DP flows per switch into time-bucket series —
+// the quantity plotted in the paper's Fig. 5.
+func SwitchSeries(records []flow.Record, types map[flow.Pair]parallel.Type, cfg Config) map[flow.SwitchID][]SwitchPoint {
+	a := NewSeriesAccum(cfg)
+	a.Add(records, types)
+	return a.Series()
 }
 
 // SwitchDiagnose inspects switch series bucket by bucket: bandwidth

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -147,6 +148,35 @@ func TestSwitchSeriesAggregation(t *testing.T) {
 	}
 	if s3[1].Flows != 1 || s3[1].MeanGbps < 79 || s3[1].MeanGbps > 81 {
 		t.Errorf("bucket 1 = %+v, want 1 flow at ≈ 80 Gb/s", s3[1])
+	}
+}
+
+// TestSeriesAccumMergeMatchesSingleShot is the merge-safety contract the
+// concurrent analyzer relies on: sharding records across accumulators and
+// merging the partials must reproduce the single-shot aggregation exactly.
+func TestSeriesAccumMergeMatchesSingleShot(t *testing.T) {
+	records := []flow.Record{
+		dpRecord(1, 0, 100, 3),
+		dpRecord(2, 10*time.Second, 120, 3),
+		dpRecord(3, 70*time.Second, 80, 3),
+		dpRecord(4, 0, 100, 4),
+		dpRecord(5, 30*time.Second, 60, 3, 4),
+	}
+	cfg := Config{Bucket: time.Minute}
+	want := SwitchSeries(records, dpTypes(), cfg)
+
+	merged := NewSeriesAccum(cfg)
+	shardA := NewSeriesAccum(cfg)
+	shardA.Add(records[:2], dpTypes())
+	shardB := NewSeriesAccum(cfg)
+	shardB.Add(records[2:], dpTypes())
+	merged.Merge(shardA)
+	merged.Merge(shardB)
+	merged.Merge(nil) // nil shard is a no-op
+	got := merged.Series()
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("merged series diverges from single-shot:\nwant %+v\ngot  %+v", want, got)
 	}
 }
 

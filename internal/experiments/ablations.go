@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/netsim"
 	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/pool"
 	"github.com/llmprism/llmprism/internal/topology"
 	"github.com/llmprism/llmprism/internal/truth"
 )
@@ -27,19 +30,22 @@ type NetsimModeResult struct {
 // models. The analytic mode ignores contention from later arrivals, which
 // perturbs flow timings; the experiment quantifies the effect on timeline
 // accuracy and simulation cost.
-func AblationNetsimMode(opts Options) (*NetsimModeResult, error) {
+func AblationNetsimMode(ctx context.Context, opts Options) (*NetsimModeResult, error) {
 	opts = opts.withDefaults()
 	if opts.Scale > 0.5 {
 		opts.Scale = 0.5 // A1 never needs the full 1,024-GPU job
 	}
-	fair, err := fig4WithMode(opts, netsim.Config{Mode: netsim.ModeFairShare})
+	// The two network modes re-run the same scenario independently, so
+	// they fan out to the worker pool.
+	runs, err := pool.Map(ctx, opts.Workers,
+		[]netsim.Mode{netsim.ModeFairShare, netsim.ModeAnalytic},
+		func(ctx context.Context, _ int, mode netsim.Mode) (*Fig4Result, error) {
+			return fig4WithMode(ctx, opts, netsim.Config{Mode: mode})
+		})
 	if err != nil {
 		return nil, err
 	}
-	analytic, err := fig4WithMode(opts, netsim.Config{Mode: netsim.ModeAnalytic})
-	if err != nil {
-		return nil, err
-	}
+	fair, analytic := runs[0], runs[1]
 	return &NetsimModeResult{
 		FairShareError: fair.Score.MeanRelError,
 		AnalyticError:  analytic.Score.MeanRelError,
@@ -72,8 +78,11 @@ type SplitterResult struct {
 // The naive splitter fragments DP bursts (bucket chains pause longer than
 // the median gap) while BOCD's run-length posterior plus the separation
 // guard track the two-regime structure.
-func AblationStepSplitter(opts Options) (*SplitterResult, error) {
+func AblationStepSplitter(ctx context.Context, opts Options) (*SplitterResult, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nodes := scaleInt(16, opts.Scale, 8)
 	topoSpec := topology.Spec{Nodes: nodes, NodesPerLeaf: 8, Spines: 4}
 	jobs, err := platform.PlanJobs(topoSpec, []platform.JobPlan{
@@ -98,8 +107,21 @@ func AblationStepSplitter(opts Options) (*SplitterResult, error) {
 	}
 
 	byPair := flow.GroupByPair(res.Records)
+	// Fold pairs in sorted order so the float error sums are reproducible
+	// run to run (map iteration order is not).
+	pairs := make([]flow.Pair, 0, len(byPair))
+	for pair := range byPair {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
 	out := &SplitterResult{}
-	for pair, recs := range byPair {
+	for _, pair := range pairs {
+		recs := byPair[pair]
 		if tj.Pairs[pair] != truth.PairDP || len(recs) < 8 {
 			continue
 		}
@@ -157,46 +179,80 @@ type RingCountRow struct {
 // correlated misclassifications can disconnect it and the transitive
 // refinement cannot repair the lost pairs; multi-ring collectives densify
 // the DP graph and keep refinement at 100%.
-func AblationRingCount(opts Options) (*RingCountResult, error) {
+func AblationRingCount(ctx context.Context, opts Options) (*RingCountResult, error) {
 	opts = opts.withDefaults()
 	nodes := scaleInt(32, opts.Scale, 16)
-	out := &RingCountResult{}
-	for _, rings := range []int{1, 2, 4} {
-		var accWith, accWithout float64
-		var pairs int
-		const runs = 3
+	ringCounts := []int{1, 2, 4}
+	const runs = 3
+
+	// Every (ring count, run) cell is an independent simulation, so the
+	// whole grid fans out to the worker pool; the per-ring fold below sums
+	// run results in run order, matching the sequential nesting exactly.
+	type cellResult struct {
+		accWith, accWithout float64
+		pairs               int
+		evaluated           bool
+	}
+	type cellSpec struct{ rings, run int }
+	var cells []cellSpec
+	for _, rings := range ringCounts {
 		for run := 0; run < runs; run++ {
+			cells = append(cells, cellSpec{rings, run})
+		}
+	}
+	results, err := pool.Map(ctx, opts.Workers, cells,
+		func(ctx context.Context, _ int, cell cellSpec) (cellResult, error) {
 			topoSpec := topology.Spec{Nodes: nodes, NodesPerLeaf: 8, Spines: 4}
 			jobs, err := platform.PlanJobs(topoSpec, []platform.JobPlan{
 				{Nodes: nodes, TargetStep: 20 * time.Second},
-			}, opts.Seed+int64(run)*31)
+			}, opts.Seed+int64(cell.run)*31)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: A3: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: A3: %w", err)
 			}
-			jobs[0].Rings = rings
+			jobs[0].Rings = cell.rings
 			jobs[0].FP32GradReduce = true
 			res, err := platform.Run(platform.Scenario{
 				Name: "a3", Topo: topoSpec, Jobs: jobs, Horizon: 2 * time.Minute,
 				Collector: erspan.Config{
 					LossProb:     0.06,
 					AggregateGap: 2 * time.Millisecond,
-					Seed:         opts.Seed + int64(run),
+					Seed:         opts.Seed + int64(cell.run),
 				},
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: A3: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: A3: %w", err)
 			}
 			records := res.Window(40*time.Second, time.Minute)
 			perJob := jobrec.SplitRecords(records, jobrec.Recognize(records, res.Topo, jobrec.Config{}))
 			if len(perJob) == 0 {
-				continue
+				return cellResult{}, nil
 			}
 			tj := res.Truth.Jobs[0]
 			with := pairAccuracy(parallel.Identify(perJob[0], parallel.Config{}).Types, tj)
 			without := pairAccuracy(parallel.Identify(perJob[0], parallel.Config{DisableRefinement: true}).Types, tj)
-			accWith += with.Accuracy()
-			accWithout += without.Accuracy()
-			pairs += with.Total
+			return cellResult{
+				accWith:    with.Accuracy(),
+				accWithout: without.Accuracy(),
+				pairs:      with.Total,
+				evaluated:  true,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RingCountResult{}
+	for ri, rings := range ringCounts {
+		var accWith, accWithout float64
+		var pairs int
+		for run := 0; run < runs; run++ {
+			cell := results[ri*runs+run]
+			if !cell.evaluated {
+				continue
+			}
+			accWith += cell.accWith
+			accWithout += cell.accWithout
+			pairs += cell.pairs
 		}
 		out.Rows = append(out.Rows, RingCountRow{
 			Rings:          rings,

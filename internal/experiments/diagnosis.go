@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/llmprism/llmprism/internal/faults"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/pool"
 	"github.com/llmprism/llmprism/internal/topology"
 )
 
@@ -36,8 +38,11 @@ type DiagnosisResult struct {
 // thermally-throttled straggler rank must surface as step-duration
 // anomalies, and a DP group communicating over a degraded NIC must surface
 // as a collective-duration outlier against its peer groups.
-func Diagnosis(opts Options) (*DiagnosisResult, error) {
+func Diagnosis(ctx context.Context, opts Options) (*DiagnosisResult, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nodes := scaleInt(32, opts.Scale, 24)
 	topoSpec := topology.Spec{Nodes: nodes, NodesPerLeaf: 4, Spines: 4}
 	topo, err := topology.New(topoSpec)
@@ -86,39 +91,62 @@ func Diagnosis(opts Options) (*DiagnosisResult, error) {
 
 	clusters := jobrec.Recognize(res.Records, res.Topo, jobrec.Config{})
 	perJob := jobrec.SplitRecords(res.Records, clusters)
-	for i, jobRecs := range perJob {
-		cls := parallel.Identify(jobRecs, parallel.Config{})
-		tls := timeline.Reconstruct(jobRecs, cls.Types, timeline.Config{})
-		stepAlerts := diagnose.CrossStep(tls, diagnose.Config{})
-		groupAlerts := diagnose.CrossGroup(tls, cls.DPGroups, diagnose.Config{})
 
-		isStragglerJob := false
-		for _, a := range clusters[i].Endpoints {
-			if a == straggler {
-				isStragglerJob = true
-			}
-		}
-		if isStragglerJob {
-			out.CrossStepAlerts += len(stepAlerts)
-			for _, a := range stepAlerts {
-				off := a.Time.Sub(res.Truth.Epoch)
-				if off >= 18*time.Second && off <= 42*time.Second {
-					out.CrossStepInWindow++
+	// Analyze the two victim jobs on the worker pool; folding the per-job
+	// partial counts in job order keeps the outcome identical to a
+	// sequential pass.
+	type jobDiag struct {
+		stepAlerts, stepInWindow int
+		groupAlerts              int
+		stragglerJob, slowGroup  bool
+	}
+	diags, err := pool.Map(ctx, opts.Workers, perJob,
+		func(ctx context.Context, i int, jobRecs []flow.Record) (jobDiag, error) {
+			cls := parallel.Identify(jobRecs, parallel.Config{})
+			tls := timeline.Reconstruct(jobRecs, cls.Types, timeline.Config{})
+			stepAlerts := diagnose.CrossStep(tls, diagnose.Config{})
+			groupAlerts := diagnose.CrossGroup(tls, cls.DPGroups, diagnose.Config{})
+
+			var d jobDiag
+			for _, a := range clusters[i].Endpoints {
+				if a == straggler {
+					d.stragglerJob = true
 				}
 			}
-			out.StragglerJobDetected = out.CrossStepInWindow > 0
-			continue
-		}
-		out.CrossGroupAlerts += len(groupAlerts)
-		for _, a := range groupAlerts {
-			if a.Group < len(cls.DPGroups) {
-				for _, member := range cls.DPGroups[a.Group] {
-					if member == degraded {
-						out.SlowGroupDetected = true
+			if d.stragglerJob {
+				d.stepAlerts = len(stepAlerts)
+				for _, a := range stepAlerts {
+					off := a.Time.Sub(res.Truth.Epoch)
+					if off >= 18*time.Second && off <= 42*time.Second {
+						d.stepInWindow++
+					}
+				}
+				return d, nil
+			}
+			d.groupAlerts = len(groupAlerts)
+			for _, a := range groupAlerts {
+				if a.Group < len(cls.DPGroups) {
+					for _, member := range cls.DPGroups[a.Group] {
+						if member == degraded {
+							d.slowGroup = true
+						}
 					}
 				}
 			}
+			return d, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		if d.stragglerJob {
+			out.CrossStepAlerts += d.stepAlerts
+			out.CrossStepInWindow += d.stepInWindow
+			out.StragglerJobDetected = out.StragglerJobDetected || d.stepInWindow > 0
+			continue
 		}
+		out.CrossGroupAlerts += d.groupAlerts
+		out.SlowGroupDetected = out.SlowGroupDetected || d.slowGroup
 	}
 	return out, nil
 }

@@ -13,6 +13,12 @@
 //	A1  ablation netsim fluid vs analytic mode
 //	A2  ablation BOCD vs naive gap-threshold step splitting
 //	A3  ablation collective ring count vs refinement repair
+//
+// The experiments are mutually independent and each derives all of its
+// randomness from Options.Seed, so Run executes any subset of them
+// concurrently with results bit-identical to a sequential pass. Every
+// experiment takes a context and aborts between its simulation and
+// analysis phases when canceled.
 package experiments
 
 import (
@@ -31,6 +37,13 @@ type Options struct {
 	Scale float64
 	// Seed drives all scenario randomness. Default 1.
 	Seed int64
+	// Workers bounds intra-experiment fan-out: the independent simulations
+	// an experiment averages over (Table1's jobs, A1's network modes, A3's
+	// ring configurations) run on up to Workers goroutines. Every
+	// simulation derives its randomness from Seed alone and partial
+	// results are folded in a fixed order, so outcomes are bit-identical
+	// for any worker count. Zero or negative means GOMAXPROCS.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

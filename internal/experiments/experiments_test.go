@@ -1,19 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 )
 
-// Small scales keep these end-to-end experiment tests fast; the paper-scale
-// numbers are produced by cmd/repro and the root benchmarks.
+// The fast experiments run unconditionally (they are the -short coverage);
+// the multi-second ones skip under -short and are exercised at full small
+// scale by the default `go test ./...` run and by cmd/repro at paper scale.
 
 func TestFig3SmallScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment test")
-	}
-	res, err := Fig3(Options{Scale: 0.1, Seed: 3})
+	res, err := Fig3(context.Background(), Options{Scale: 0.1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestTable1SmallScale(t *testing.T) {
 		Windows:     []time.Duration{75 * time.Second, 150 * time.Second},
 		TargetStep:  8 * time.Second,
 	}
-	res, err := Table1(cfg, Options{Seed: 5})
+	res, err := Table1(context.Background(), cfg, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,38 @@ func TestTable1SmallScale(t *testing.T) {
 	}
 }
 
+// TestTable1TinyConcurrentMatchesSequential is the -short equivalent of the
+// Table I test: a tiny two-job configuration whose per-job simulations fan
+// out, asserting the concurrent rows are bit-identical to the sequential
+// ones.
+func TestTable1TinyConcurrentMatchesSequential(t *testing.T) {
+	cfg := Table1Config{
+		Jobs:        2,
+		NodesPerJob: 16,
+		Windows:     []time.Duration{45 * time.Second},
+		TargetStep:  5 * time.Second,
+	}
+	seq, err := Table1(context.Background(), cfg, Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1(context.Background(), cfg, Options{Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Errorf("concurrent rows diverge from sequential:\nseq %+v\npar %+v", seq.Rows, par.Rows)
+	}
+	if len(seq.Rows) != 1 || seq.Rows[0].PairsEvaluated == 0 {
+		t.Errorf("degenerate tiny run: %+v", seq.Rows)
+	}
+}
+
 func TestFig4SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
-	res, err := Fig4(Options{Scale: 0.15, Seed: 7})
+	res, err := Fig4(context.Background(), Options{Scale: 0.15, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +123,7 @@ func TestFig5SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
-	res, err := Fig5(Options{Scale: 0.4, Seed: 9})
+	res, err := Fig5(context.Background(), Options{Scale: 0.4, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +144,7 @@ func TestDiagnosisSmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
-	res, err := Diagnosis(Options{Scale: 1, Seed: 11})
+	res, err := Diagnosis(context.Background(), Options{Scale: 1, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +160,7 @@ func TestAblationNetsimMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
-	res, err := AblationNetsimMode(Options{Scale: 0.15, Seed: 13})
+	res, err := AblationNetsimMode(context.Background(), Options{Scale: 0.15, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +170,7 @@ func TestAblationNetsimMode(t *testing.T) {
 }
 
 func TestAblationStepSplitter(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment test")
-	}
-	res, err := AblationStepSplitter(Options{Scale: 1, Seed: 15})
+	res, err := AblationStepSplitter(context.Background(), Options{Scale: 1, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +186,7 @@ func TestAblationRingCount(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
-	res, err := AblationRingCount(Options{Scale: 0.5, Seed: 17})
+	res, err := AblationRingCount(context.Background(), Options{Scale: 0.5, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,5 +197,71 @@ func TestAblationRingCount(t *testing.T) {
 		if row.AccWith < row.AccWithout-1e-9 {
 			t.Errorf("rings=%d: refinement hurt accuracy", row.Rings)
 		}
+	}
+}
+
+func TestRunnerRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "table1", "fig4", "fig5", "diagnosis", "a1", "a2", "a3"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("registry names = %v, want %v", got, want)
+	}
+	for _, s := range All() {
+		if s.Run == nil || s.Desc == "" {
+			t.Errorf("spec %q incomplete", s.Name)
+		}
+	}
+}
+
+func TestRunnerUnknownName(t *testing.T) {
+	if _, err := Run(context.Background(), []string{"fig3", "nope"}, Options{}, 2); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown name not rejected: %v", err)
+	}
+}
+
+func TestRunnerCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, []string{"fig3"}, Options{Scale: 0.1}, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunnerConcurrentMatchesSequential runs a cheap experiment subset
+// through the concurrent runner and asserts the outcomes are bit-identical
+// to the sequential (workers=1) pass — the determinism guarantee the
+// -workers flag of cmd/repro relies on. Wall-clock fields are zeroed before
+// comparison; everything else must match exactly.
+func TestRunnerConcurrentMatchesSequential(t *testing.T) {
+	names := []string{"fig3", "a2"}
+	opts := Options{Scale: 0.1, Seed: 21}
+	seq, err := Run(context.Background(), names, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), names, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || len(par) != 2 {
+		t.Fatalf("outcomes = %d/%d, want 2/2", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("experiment %s failed: seq=%v par=%v", seq[i].Spec.Name, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Spec.Name != par[i].Spec.Name {
+			t.Fatalf("outcome order diverged: %s vs %s", seq[i].Spec.Name, par[i].Spec.Name)
+		}
+	}
+	seqFig3 := *seq[0].Result.(*Fig3Result)
+	parFig3 := *par[0].Result.(*Fig3Result)
+	seqFig3.SimWall, seqFig3.AnalysisWall = 0, 0
+	parFig3.SimWall, parFig3.AnalysisWall = 0, 0
+	if !reflect.DeepEqual(seqFig3, parFig3) {
+		t.Errorf("fig3 outcomes diverge:\nseq %+v\npar %+v", seqFig3, parFig3)
+	}
+	if !reflect.DeepEqual(seq[1].Result, par[1].Result) {
+		t.Errorf("a2 outcomes diverge:\nseq %+v\npar %+v", seq[1].Result, par[1].Result)
 	}
 }

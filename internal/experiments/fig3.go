@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -35,8 +36,11 @@ type Fig3Result struct {
 
 // Fig3 reproduces the paper's Fig. 3/§V-A: recognize every training job on
 // a multi-tenant cluster from a one-minute flow window.
-func Fig3(opts Options) (*Fig3Result, error) {
+func Fig3(ctx context.Context, opts Options) (*Fig3Result, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nodes := scaleInt(360, opts.Scale, 24)
 	topoSpec := topology.Spec{Nodes: nodes, NodesPerLeaf: 15, Spines: 8}
 
@@ -66,6 +70,9 @@ func Fig3(opts Options) (*Fig3Result, error) {
 		return nil, fmt.Errorf("experiments: fig3: %w", err)
 	}
 	simWall := time.Since(simStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Analyze a one-minute window, as in the paper.
 	window := res.Window(30*time.Second, time.Minute)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,12 +34,15 @@ type Fig4Result struct {
 // of a 1,024-GPU ZeRO job and score the step boundaries against the
 // simulator's ground truth (standing in for the paper's PyTorch Profiler
 // reference). The paper reports reconstruction error within 0.3%.
-func Fig4(opts Options) (*Fig4Result, error) {
-	return fig4WithMode(opts, netsim.Config{})
+func Fig4(ctx context.Context, opts Options) (*Fig4Result, error) {
+	return fig4WithMode(ctx, opts, netsim.Config{})
 }
 
-func fig4WithMode(opts Options, netCfg netsim.Config) (*Fig4Result, error) {
+func fig4WithMode(ctx context.Context, opts Options, netCfg netsim.Config) (*Fig4Result, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nodes := scaleInt(128, opts.Scale, 16)
 	horizon := scaleDur(6*time.Minute, opts.Scale, 2*time.Minute)
 	topoSpec := topology.Spec{Nodes: nodes, NodesPerLeaf: 8, Spines: 8}
@@ -63,6 +67,9 @@ func fig4WithMode(opts Options, netCfg netsim.Config) (*Fig4Result, error) {
 		return nil, fmt.Errorf("experiments: fig4: %w", err)
 	}
 	simWall := time.Since(simStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	anStart := time.Now()
 	records := res.Records

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"github.com/llmprism/llmprism/internal/faults"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/pool"
 	"github.com/llmprism/llmprism/internal/stats"
 	"github.com/llmprism/llmprism/internal/topology"
 	"github.com/llmprism/llmprism/internal/viz"
@@ -37,8 +39,11 @@ type Fig5Result struct {
 // bucket and k-sigma detection flags the degraded switches. In the paper,
 // healthy switches average 100–180 Gb/s and the degraded subset drops to
 // 30–60 Gb/s.
-func Fig5(opts Options) (*Fig5Result, error) {
+func Fig5(ctx context.Context, opts Options) (*Fig5Result, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nodes := scaleInt(64, opts.Scale, 24)
 	horizon := scaleDur(time.Hour, opts.Scale, 10*time.Minute)
 	// 3 nodes per leaf: every pipeline stage (DP group) spans leaves, so
@@ -82,24 +87,29 @@ func Fig5(opts Options) (*Fig5Result, error) {
 	}
 	simWall := time.Since(simStart)
 
-	// Classify DP traffic across all jobs, then build switch series.
+	// Classify each job's DP traffic on the worker pool, accumulating a
+	// per-job partial switch series; merging the partials in job order
+	// keeps the platform-wide series bit-identical for any worker count.
 	records := res.Records
 	clusters := jobrec.Recognize(records, res.Topo, jobrec.Config{})
 	perJob := jobrec.SplitRecords(records, clusters)
-	var dpRecords []flow.Record
-	allTypes := make(map[flow.Pair]parallel.Type)
-	for _, jobRecs := range perJob {
-		cls := parallel.Identify(jobRecs, parallel.Config{})
-		dpRecords = append(dpRecords, parallel.DPRecords(jobRecs, cls.Types)...)
-		for p, t := range cls.Types {
-			allTypes[p] = t
-		}
-	}
-	flow.SortByStart(dpRecords)
-
 	bucket := horizon / 12
 	diagCfg := diagnose.Config{Bucket: bucket}
-	series := diagnose.SwitchSeries(dpRecords, allTypes, diagCfg)
+	partials, err := pool.Map(ctx, opts.Workers, perJob,
+		func(ctx context.Context, _ int, jobRecs []flow.Record) (*diagnose.SeriesAccum, error) {
+			cls := parallel.Identify(jobRecs, parallel.Config{})
+			accum := diagnose.NewSeriesAccum(diagCfg)
+			accum.Add(jobRecs, cls.Types)
+			return accum, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	merged := diagnose.NewSeriesAccum(diagCfg)
+	for _, p := range partials {
+		merged.Merge(p)
+	}
+	series := merged.Series()
 	alerts := diagnose.SwitchDiagnose(series, diagCfg)
 
 	out := &Fig5Result{

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/pool"
+)
+
+// Result is the common reporting surface of every experiment outcome.
+type Result interface {
+	// Report renders the outcome as the paper-style text table/series.
+	Report() string
+}
+
+// Spec is one runnable experiment of the registry.
+type Spec struct {
+	// Name is the CLI-facing identifier (fig3, table1, ..., a3).
+	Name string
+	// Desc is the one-line description shown above the report.
+	Desc string
+	// Run executes the experiment. It must derive all randomness from
+	// Options.Seed so concurrent runs reproduce sequential ones.
+	Run func(context.Context, Options) (Result, error)
+}
+
+// All returns the experiment registry in presentation order (E1–E5, then
+// the ablations A1–A3).
+func All() []Spec {
+	return []Spec{
+		{"fig3", "E1: job recognition (Fig. 3)",
+			func(ctx context.Context, o Options) (Result, error) { return Fig3(ctx, o) }},
+		{"table1", "E2: parallelism identification (Table I)",
+			func(ctx context.Context, o Options) (Result, error) { return Table1(ctx, Table1Config{}, o) }},
+		{"fig4", "E3: timeline reconstruction (§V-C, Fig. 4)",
+			func(ctx context.Context, o Options) (Result, error) { return Fig4(ctx, o) }},
+		{"fig5", "E4: switch-level diagnosis (Fig. 5)",
+			func(ctx context.Context, o Options) (Result, error) { return Fig5(ctx, o) }},
+		{"diagnosis", "E5: cross-step / cross-group diagnosis (§V-D)",
+			func(ctx context.Context, o Options) (Result, error) { return Diagnosis(ctx, o) }},
+		{"a1", "A1: netsim mode ablation",
+			func(ctx context.Context, o Options) (Result, error) { return AblationNetsimMode(ctx, o) }},
+		{"a2", "A2: step-splitter ablation",
+			func(ctx context.Context, o Options) (Result, error) { return AblationStepSplitter(ctx, o) }},
+		{"a3", "A3: ring-count ablation",
+			func(ctx context.Context, o Options) (Result, error) { return AblationRingCount(ctx, o) }},
+	}
+}
+
+// Names lists the registry's experiment names in order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Outcome is one experiment's result within a Run.
+type Outcome struct {
+	Spec   Spec
+	Result Result
+	// Err is the experiment's own failure, if any; Run reports it here
+	// instead of aborting the sibling experiments.
+	Err error
+	// Wall is the experiment's wall-clock time inside the pool (it
+	// overlaps with other experiments' when workers > 1).
+	Wall time.Duration
+}
+
+// resolve maps experiment names (empty = all) to registry specs, in
+// registry order and deduplicated. Unknown names error.
+func resolve(names []string) ([]Spec, error) {
+	registry := All()
+	if len(names) == 0 {
+		return registry, nil
+	}
+	byName := make(map[string]Spec, len(registry))
+	for _, s := range registry {
+		byName[strings.ToLower(s.Name)] = s
+	}
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		s, ok := byName[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		seen[s.Name] = true
+	}
+	var selected []Spec
+	for _, s := range registry {
+		if seen[s.Name] {
+			selected = append(selected, s)
+		}
+	}
+	return selected, nil
+}
+
+// innerBudget divides the worker budget between the experiment-level pool
+// and each experiment's internal fan-out so total concurrency stays within
+// workers rather than multiplying to workers².
+func innerBudget(workers, experiments int) int {
+	if experiments <= 1 {
+		return workers
+	}
+	inner := pool.Clamp(workers) / experiments
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
+// RunStream executes the named experiments (empty names = the full
+// registry) concurrently on up to workers goroutines, invoking handle once
+// per outcome in registry order as soon as that outcome and all before it
+// have finished — so a long tail experiment doesn't hold completed reports
+// hostage. The worker budget is shared between the experiment-level pool
+// and each experiment's internal fan-out (Options.Workers is derived from
+// it; any caller-set value is overridden).
+//
+// The experiments are mutually independent and seeded only from opts.Seed,
+// so the outcomes are bit-identical to a sequential pass; only the Wall
+// fields vary. Unknown names fail before anything runs. A canceled ctx
+// stops scheduling and returns ctx.Err() after handling the completed
+// prefix.
+func RunStream(ctx context.Context, names []string, opts Options, workers int, handle func(Outcome)) error {
+	selected, err := resolve(names)
+	if err != nil {
+		return err
+	}
+	opts.Workers = innerBudget(workers, len(selected))
+
+	outcomes := make([]Outcome, len(selected))
+	done := make([]chan struct{}, len(selected))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	poolErr := make(chan error, 1)
+	go func() {
+		_, err := pool.Map(ctx, workers, selected,
+			func(ctx context.Context, i int, s Spec) (struct{}, error) {
+				start := time.Now()
+				res, rerr := s.Run(ctx, opts)
+				outcomes[i] = Outcome{Spec: s, Result: res, Err: rerr, Wall: time.Since(start)}
+				close(done[i])
+				return struct{}{}, nil
+			})
+		poolErr <- err
+	}()
+
+	next := 0
+	var runErr error
+	for next < len(selected) {
+		select {
+		case <-done[next]:
+			handle(outcomes[next])
+			next++
+		case runErr = <-poolErr:
+			// Pool stopped (cancellation); hand over whatever contiguous
+			// prefix still completed, then stop.
+			for ; next < len(selected); next++ {
+				select {
+				case <-done[next]:
+					handle(outcomes[next])
+					continue
+				default:
+				}
+				break
+			}
+			return runErr
+		}
+	}
+	return <-poolErr
+}
+
+// Run is RunStream collecting the outcomes into a slice. On cancellation
+// it returns the completed prefix alongside ctx's error.
+func Run(ctx context.Context, names []string, opts Options, workers int) ([]Outcome, error) {
+	var out []Outcome
+	err := RunStream(ctx, names, opts, workers, func(o Outcome) { out = append(out, o) })
+	return out, err
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/llmprism/llmprism/internal/core/parallel"
 	"github.com/llmprism/llmprism/internal/erspan"
 	"github.com/llmprism/llmprism/internal/platform"
+	"github.com/llmprism/llmprism/internal/pool"
 	"github.com/llmprism/llmprism/internal/topology"
 )
 
@@ -64,7 +66,7 @@ type Table1Result struct {
 // single distinct size, voting the pair toward PP. Short windows hold few
 // steps, so the per-pair mode is fragile; refinement repairs every such
 // pair through the DP graph's connected components.
-func Table1(cfg Table1Config, opts Options) (*Table1Result, error) {
+func Table1(ctx context.Context, cfg Table1Config, opts Options) (*Table1Result, error) {
 	opts = opts.withDefaults()
 	if cfg.Jobs == 0 {
 		cfg = defaultTable1Config(opts)
@@ -74,60 +76,88 @@ func Table1(cfg Table1Config, opts Options) (*Table1Result, error) {
 	horizon := offset + maxWindow + 30*time.Second
 
 	result := &Table1Result{Config: cfg}
-	sums := make([]Table1Row, len(cfg.Windows))
 	simStart := time.Now()
 
-	for job := 0; job < cfg.Jobs; job++ {
-		topoSpec := topology.Spec{Nodes: cfg.NodesPerJob, NodesPerLeaf: 8, Spines: 8}
-		jobs, err := platform.PlanJobs(topoSpec, []platform.JobPlan{
-			{Nodes: cfg.NodesPerJob, TargetStep: cfg.TargetStep},
-		}, opts.Seed+int64(job)*101)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1: %w", err)
-		}
-		// Production collection regime: the collector aggregates each
-		// queue pair's chunk stream into per-phase records, gradients
-		// reduce at fp32 (so the two phase records differ in size), and
-		// export datagrams are occasionally lost. Losing one of a step's
-		// two phase records leaves a single distinct size — the DP→PP
-		// noise the refinement pass exists to repair (§IV-B).
-		for i := range jobs {
-			jobs[i].FP32GradReduce = true
-		}
-		res, err := platform.Run(platform.Scenario{
-			Name:    fmt.Sprintf("table1-job%d", job),
-			Topo:    topoSpec,
-			Jobs:    jobs,
-			Horizon: horizon,
-			Collector: erspan.Config{
-				LossProb:     0.06,
-				TimeJitter:   2 * time.Microsecond,
-				AggregateGap: 2 * time.Millisecond,
-				Seed:         opts.Seed + int64(job),
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1: %w", err)
-		}
-		tj := res.Truth.Jobs[0]
-
-		for wi, window := range cfg.Windows {
-			records := res.Window(offset, window)
-			perJob := jobrec.SplitRecords(records, jobrec.Recognize(records, res.Topo, jobrec.Config{}))
-			if len(perJob) == 0 {
-				continue
+	// The tenant jobs are simulated independently with per-job seeds, so
+	// they fan out to the worker pool; each returns its per-window rows and
+	// the fold below sums them in job order, bit-identical to a sequential
+	// loop.
+	jobIdx := make([]int, cfg.Jobs)
+	for i := range jobIdx {
+		jobIdx[i] = i
+	}
+	perJobRows, err := pool.Map(ctx, opts.Workers, jobIdx,
+		func(ctx context.Context, _ int, job int) ([]Table1Row, error) {
+			topoSpec := topology.Spec{Nodes: cfg.NodesPerJob, NodesPerLeaf: 8, Spines: 8}
+			jobs, err := platform.PlanJobs(topoSpec, []platform.JobPlan{
+				{Nodes: cfg.NodesPerJob, TargetStep: cfg.TargetStep},
+			}, opts.Seed+int64(job)*101)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1: %w", err)
 			}
-			jobRecs := perJob[0]
+			// Production collection regime: the collector aggregates each
+			// queue pair's chunk stream into per-phase records, gradients
+			// reduce at fp32 (so the two phase records differ in size), and
+			// export datagrams are occasionally lost. Losing one of a step's
+			// two phase records leaves a single distinct size — the DP→PP
+			// noise the refinement pass exists to repair (§IV-B).
+			for i := range jobs {
+				jobs[i].FP32GradReduce = true
+			}
+			res, err := platform.Run(platform.Scenario{
+				Name:    fmt.Sprintf("table1-job%d", job),
+				Topo:    topoSpec,
+				Jobs:    jobs,
+				Horizon: horizon,
+				Collector: erspan.Config{
+					LossProb:     0.06,
+					TimeJitter:   2 * time.Microsecond,
+					AggregateGap: 2 * time.Millisecond,
+					Seed:         opts.Seed + int64(job),
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1: %w", err)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tj := res.Truth.Jobs[0]
 
-			with := parallel.Identify(jobRecs, parallel.Config{})
-			without := parallel.Identify(jobRecs, parallel.Config{DisableRefinement: true})
-			sWith := pairAccuracy(with.Types, tj)
-			sWithout := pairAccuracy(without.Types, tj)
+			rows := make([]Table1Row, len(cfg.Windows))
+			for wi, window := range cfg.Windows {
+				records := res.Window(offset, window)
+				perJob := jobrec.SplitRecords(records, jobrec.Recognize(records, res.Topo, jobrec.Config{}))
+				if len(perJob) == 0 {
+					continue
+				}
+				jobRecs := perJob[0]
 
-			sums[wi].Window = window
-			sums[wi].AccWith += sWith.Accuracy()
-			sums[wi].AccWithout += sWithout.Accuracy()
-			sums[wi].PairsEvaluated += sWith.Total
+				with := parallel.Identify(jobRecs, parallel.Config{})
+				without := parallel.Identify(jobRecs, parallel.Config{DisableRefinement: true})
+				sWith := pairAccuracy(with.Types, tj)
+				sWithout := pairAccuracy(without.Types, tj)
+
+				rows[wi].Window = window
+				rows[wi].AccWith = sWith.Accuracy()
+				rows[wi].AccWithout = sWithout.Accuracy()
+				rows[wi].PairsEvaluated = sWith.Total
+			}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make([]Table1Row, len(cfg.Windows))
+	for _, rows := range perJobRows {
+		for wi, row := range rows {
+			if row.Window != 0 {
+				sums[wi].Window = row.Window
+			}
+			sums[wi].AccWith += row.AccWith
+			sums[wi].AccWithout += row.AccWithout
+			sums[wi].PairsEvaluated += row.PairsEvaluated
 		}
 	}
 	result.SimWall = time.Since(simStart)

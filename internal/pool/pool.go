@@ -1,0 +1,97 @@
+// Package pool provides the bounded, order-preserving worker pool that the
+// analysis pipeline and the experiment runner fan out on. Results are
+// returned in input order regardless of completion order, so callers that
+// fold them sequentially get bit-identical output for any worker count.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Clamp resolves a worker-count knob: n when positive, GOMAXPROCS
+// otherwise.
+func Clamp(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on up to workers goroutines (Clamp applied,
+// never more goroutines than items) and returns the results in input
+// order. fn receives the item's index alongside the item and must not
+// communicate with other invocations.
+//
+// On error the pool stops handing out unstarted items, waits for in-flight
+// calls, and returns the errored item with the smallest index among those
+// that ran; when ctx is canceled it does the same and returns ctx.Err().
+// With workers == 1 items run inline on the caller's goroutine in strict
+// order.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	w := Clamp(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]R, n)
+	if w == 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				r, err := fn(ctx, i, items[i])
+				if err != nil {
+					errs[i] = err
+					stopOnce.Do(func() { close(stop) })
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case <-stop:
+			break feed
+		case idxCh <- i:
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -22,9 +22,22 @@
 //	res, err := llmprism.Simulate(scenario)       // or load real flows
 //	report, err := llmprism.New().Analyze(res.Records, res.Topo)
 //	for _, job := range report.Jobs { ... }
+//
+// # Concurrency
+//
+// After job recognition, each recognized job's identify → timeline →
+// diagnose chain is independent, so Analyze fans jobs out to a worker pool
+// sized by WithWorkers (default GOMAXPROCS) and merges the per-job results
+// back in deterministic smallest-endpoint order; the switch-level series is
+// assembled from per-job partial aggregations merged in that same order.
+// The report is therefore bit-identical for any worker count, including the
+// sequential WithWorkers(1) pipeline. AnalyzeContext is the cancellable
+// form; Monitor windows analyzed via FeedContext flow through the same
+// pool. The cmd/llmprism and cmd/repro CLIs expose the knob as -workers.
 package llmprism
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,6 +46,7 @@ import (
 	"github.com/llmprism/llmprism/internal/core/parallel"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/pool"
 )
 
 // Config collects the tuning knobs of all four analysis phases.
@@ -41,6 +55,9 @@ type Config struct {
 	Parallel    parallel.Config
 	Timeline    timeline.Config
 	Diagnosis   diagnose.Config
+	// Workers bounds the per-job fan-out of the analysis pipeline. Zero or
+	// negative means GOMAXPROCS; 1 runs the pipeline sequentially.
+	Workers int
 }
 
 // Option customizes an Analyzer.
@@ -66,6 +83,13 @@ func WithSwitchBucket(d time.Duration) Option {
 // check.
 func WithMaxConcurrentDPFlows(n int) Option {
 	return func(c *Config) { c.Diagnosis.MaxConcurrentDPFlows = n }
+}
+
+// WithWorkers bounds the per-job fan-out of the analysis pipeline. Zero or
+// negative means GOMAXPROCS (the default); 1 disables concurrency. The
+// report is bit-identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
 }
 
 // WithConfig replaces the entire configuration.
@@ -130,50 +154,89 @@ func (r *Report) Alerts() []diagnose.Alert {
 
 // Analyze runs the full pipeline over one window of flow records. mapper
 // resolves endpoints to servers (a *topology.Topology satisfies it).
-// records need not be sorted; they are not modified.
+// records need not be sorted; they are not modified. Analyze is
+// AnalyzeContext with a background context.
 func (a *Analyzer) Analyze(records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
+	return a.AnalyzeContext(context.Background(), records, mapper)
+}
+
+// jobAnalysis is one worker's output: the job's report plus its private
+// partial switch aggregation, merged later in job order.
+type jobAnalysis struct {
+	report JobReport
+	series *diagnose.SeriesAccum
+}
+
+// AnalyzeContext runs the full pipeline over one window of flow records,
+// fanning the per-job identify → timeline → diagnose chains out to a
+// worker pool of Config.Workers goroutines (default GOMAXPROCS). Job
+// reports are merged back in smallest-endpoint order and the switch-level
+// series is built from per-job partial aggregations merged in that same
+// order, so the report is bit-identical for every worker count. ctx
+// cancellation aborts between pipeline phases and returns ctx.Err().
+func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("llmprism: no flow records to analyze")
 	}
 	if mapper == nil {
 		return nil, fmt.Errorf("llmprism: nil server mapper")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sorted := make([]flow.Record, len(records))
 	copy(sorted, records)
 	flow.SortByStart(sorted)
 
+	// Recognition is a single cheap DSU pass over the whole window; the
+	// expensive phases below are per-job and embarrassingly parallel.
 	clusters := jobrec.Recognize(sorted, mapper, a.cfg.Recognition)
 	perJob := jobrec.SplitRecords(sorted, clusters)
 
-	report := &Report{}
-	var allDPRecords []flow.Record
-	allTypes := make(map[flow.Pair]parallel.Type)
-	for i, cluster := range clusters {
-		jobRecs := perJob[i]
-		cls := parallel.Identify(jobRecs, a.cfg.Parallel)
-		tls := timeline.Reconstruct(jobRecs, cls.Types, a.cfg.Timeline)
+	analyses, err := pool.Map(ctx, a.cfg.Workers, clusters,
+		func(ctx context.Context, i int, cluster jobrec.Cluster) (jobAnalysis, error) {
+			jobRecs := perJob[i]
+			cls := parallel.Identify(jobRecs, a.cfg.Parallel)
+			if err := ctx.Err(); err != nil {
+				return jobAnalysis{}, err
+			}
+			tls := timeline.Reconstruct(jobRecs, cls.Types, a.cfg.Timeline)
+			if err := ctx.Err(); err != nil {
+				return jobAnalysis{}, err
+			}
+			var alerts []diagnose.Alert
+			alerts = append(alerts, diagnose.CrossStep(tls, a.cfg.Diagnosis)...)
+			alerts = append(alerts, diagnose.CrossGroup(tls, cls.DPGroups, a.cfg.Diagnosis)...)
 
-		var alerts []diagnose.Alert
-		alerts = append(alerts, diagnose.CrossStep(tls, a.cfg.Diagnosis)...)
-		alerts = append(alerts, diagnose.CrossGroup(tls, cls.DPGroups, a.cfg.Diagnosis)...)
-
-		report.Jobs = append(report.Jobs, JobReport{
-			Cluster:      cluster,
-			Records:      jobRecs,
-			Types:        cls.Types,
-			DPGroups:     cls.DPGroups,
-			StepsPerPair: cls.StepsPerPair,
-			Timelines:    tls,
-			Alerts:       alerts,
+			series := diagnose.NewSeriesAccum(a.cfg.Diagnosis)
+			series.Add(jobRecs, cls.Types)
+			return jobAnalysis{
+				report: JobReport{
+					Cluster:      cluster,
+					Records:      jobRecs,
+					Types:        cls.Types,
+					DPGroups:     cls.DPGroups,
+					StepsPerPair: cls.StepsPerPair,
+					Timelines:    tls,
+					Alerts:       alerts,
+				},
+				series: series,
+			}, nil
 		})
-		allDPRecords = append(allDPRecords, parallel.DPRecords(jobRecs, cls.Types)...)
-		for p, t := range cls.Types {
-			allTypes[p] = t
-		}
+	if err != nil {
+		return nil, err
 	}
 
-	flow.SortByStart(allDPRecords)
-	report.SwitchSeries = diagnose.SwitchSeries(allDPRecords, allTypes, a.cfg.Diagnosis)
+	// Merge in cluster order — Recognize sorts clusters by smallest
+	// endpoint, which both orders Report.Jobs and fixes the float
+	// summation order of the switch series.
+	report := &Report{}
+	merged := diagnose.NewSeriesAccum(a.cfg.Diagnosis)
+	for _, ja := range analyses {
+		report.Jobs = append(report.Jobs, ja.report)
+		merged.Merge(ja.series)
+	}
+	report.SwitchSeries = merged.Series()
 	report.SwitchAlerts = diagnose.SwitchDiagnose(report.SwitchSeries, a.cfg.Diagnosis)
 	return report, nil
 }

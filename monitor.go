@@ -1,6 +1,7 @@
 package llmprism
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,10 @@ import (
 // records as they are exported, and every completed window is analyzed
 // independently, yielding reports (and their alerts) in order.
 //
-// Monitor is not safe for concurrent use; feed it from one goroutine.
+// Monitor is not safe for concurrent use; feed it from one goroutine. Each
+// completed window is analyzed through the analyzer's worker pool (see
+// WithWorkers), so per-window latency shrinks with cores while reports
+// stay bit-identical to a sequential analyzer's.
 type Monitor struct {
 	analyzer *Analyzer
 	mapper   jobrec.ServerMapper
@@ -45,8 +49,18 @@ func (m *Monitor) Pending() int { return len(m.buf) }
 
 // Feed ingests records (in roughly chronological order) and analyzes every
 // window that the newest record closes. It returns one report per
-// completed window, oldest first.
+// completed window, oldest first. Feed is FeedContext with a background
+// context.
 func (m *Monitor) Feed(records []FlowRecord) ([]*Report, error) {
+	return m.FeedContext(context.Background(), records)
+}
+
+// FeedContext is Feed with cancellation: each completed window is analyzed
+// through the analyzer's worker pool via AnalyzeContext, and a canceled ctx
+// stops between (and inside) windows, returning the reports completed so
+// far alongside the error. Records of windows already analyzed are
+// consumed; the interrupted window's records stay buffered.
+func (m *Monitor) FeedContext(ctx context.Context, records []FlowRecord) ([]*Report, error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
@@ -66,7 +80,7 @@ func (m *Monitor) Feed(records []FlowRecord) ([]*Report, error) {
 		}
 		windowRecs := m.buf[:cut]
 		if len(windowRecs) > 0 {
-			report, err := m.analyzer.Analyze(windowRecs, m.mapper)
+			report, err := m.analyzer.AnalyzeContext(ctx, windowRecs, m.mapper)
 			if err != nil {
 				return reports, fmt.Errorf("llmprism: monitor window at %v: %w", m.start, err)
 			}
@@ -79,12 +93,18 @@ func (m *Monitor) Feed(records []FlowRecord) ([]*Report, error) {
 }
 
 // Flush analyzes whatever partial window remains. It returns nil when no
-// records are buffered.
+// records are buffered. Flush is FlushContext with a background context.
 func (m *Monitor) Flush() (*Report, error) {
+	return m.FlushContext(context.Background())
+}
+
+// FlushContext is Flush with cancellation. The buffer is consumed even on
+// error, matching Flush's historical contract.
+func (m *Monitor) FlushContext(ctx context.Context) (*Report, error) {
 	if len(m.buf) == 0 {
 		return nil, nil
 	}
-	report, err := m.analyzer.Analyze(m.buf, m.mapper)
+	report, err := m.analyzer.AnalyzeContext(ctx, m.buf, m.mapper)
 	m.buf = nil
 	m.start = time.Time{}
 	if err != nil {
