@@ -7,6 +7,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/flow"
 )
 
 // concurrencyTrace simulates a three-job window once per test binary; the
@@ -69,6 +75,77 @@ func TestAnalyzeContextMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(seq, par) {
 			t.Errorf("workers=%d: report diverges from sequential pipeline", workers)
 		}
+	}
+}
+
+// analyzeRecordsSequential is the classic record-slice pipeline, kept as
+// the reference implementation the columnar frame path must match
+// bit-for-bit: sort a copy, recognize, split per-job record slices, then
+// run identify → timeline → diagnose sequentially over them.
+func analyzeRecordsSequential(cfg Config, records []FlowRecord, mapper jobrec.ServerMapper) *Report {
+	sorted := make([]flow.Record, len(records))
+	copy(sorted, records)
+	flow.SortByStart(sorted)
+
+	clusters := jobrec.Recognize(sorted, mapper, cfg.Recognition)
+	perJob := jobrec.SplitRecords(sorted, clusters)
+
+	report := &Report{}
+	merged := diagnose.NewSeriesAccum(cfg.Diagnosis)
+	for i, cluster := range clusters {
+		jobRecs := perJob[i]
+		cls := parallel.Identify(jobRecs, cfg.Parallel)
+		tls := timeline.Reconstruct(jobRecs, cls.Types, cfg.Timeline)
+		var alerts []diagnose.Alert
+		alerts = append(alerts, diagnose.CrossStep(tls, cfg.Diagnosis)...)
+		alerts = append(alerts, diagnose.CrossGroup(tls, cls.DPGroups, cfg.Diagnosis)...)
+		series := diagnose.NewSeriesAccum(cfg.Diagnosis)
+		series.Add(jobRecs, cls.Types)
+		merged.Merge(series)
+		report.Jobs = append(report.Jobs, JobReport{
+			Cluster:      cluster,
+			Records:      jobRecs,
+			Types:        cls.Types,
+			DPGroups:     cls.DPGroups,
+			StepsPerPair: cls.StepsPerPair,
+			Timelines:    tls,
+			Alerts:       alerts,
+		})
+	}
+	report.SwitchSeries = merged.Series()
+	report.SwitchAlerts = diagnose.SwitchDiagnose(report.SwitchSeries, cfg.Diagnosis)
+	return report
+}
+
+// TestAnalyzeFrameMatchesRecordSlice is the acceptance gate of the
+// columnar store: the frame-based pipeline — sequential and concurrent —
+// must be deep-equal to the record-slice reference pipeline, including
+// float-typed alert values, per-switch series (float summation order), and
+// the materialized JobReport.Records. Run with -race to also verify the
+// shared frame is safe to read from every worker.
+func TestAnalyzeFrameMatchesRecordSlice(t *testing.T) {
+	records, topo := concurrencyTrace(t)
+	want := analyzeRecordsSequential(Config{}, records, topo)
+	if len(want.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(want.Jobs))
+	}
+	frame := NewFlowFrame(records)
+	for _, workers := range []int{1, 2, 8} {
+		got, err := New(WithWorkers(workers)).AnalyzeFrameContext(context.Background(), frame, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: frame report diverges from record-slice reference", workers)
+		}
+	}
+	// The record-slice entry point is an adapter over the same frame path.
+	got, err := New().Analyze(records, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("Analyze adapter diverges from record-slice reference")
 	}
 }
 

@@ -194,6 +194,7 @@ func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
 func BenchmarkAnalyzePipeline(b *testing.B) {
 	records, topo := benchTrace(b)
 	analyzer := New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := analyzer.Analyze(records, topo); err != nil {
@@ -216,6 +217,7 @@ func BenchmarkAnalyze(b *testing.B) {
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			analyzer := New(WithWorkers(workers))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := analyzer.AnalyzeContext(context.Background(), records, topo); err != nil {
 					b.Fatal(err)
@@ -226,9 +228,42 @@ func BenchmarkAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkFrameBuild measures loading one window of records into the
+// columnar frame — the sort, the column fill, and the path interning that
+// every analysis now pays exactly once per window.
+func BenchmarkFrameBuild(b *testing.B) {
+	records, _ := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frame *FlowFrame
+	for i := 0; i < b.N; i++ {
+		frame = NewFlowFrame(records)
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(frame.PathTable().NumPaths()), "paths")
+}
+
+// BenchmarkAnalyzeFrame measures the pipeline over a pre-built frame at the
+// default worker count: the steady-state cost when the collector emits
+// frames directly and the analyzer never touches a record slice.
+func BenchmarkAnalyzeFrame(b *testing.B) {
+	records, topo := benchTrace(b)
+	frame := NewFlowFrame(records)
+	analyzer := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyzer.AnalyzeFrame(frame, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
 // BenchmarkMonitorFeed measures streaming ingestion in 5-second batches.
 func BenchmarkMonitorFeed(b *testing.B) {
 	records, topo := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		monitor, err := NewMonitor(New(), topo, 20*time.Second)

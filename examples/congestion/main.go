@@ -47,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("simulated 2 minutes; %s degraded to 7%% capacity from 0:40\n\n", topo.SwitchName(badSpine))
 
-	report, err := llmprism.New(llmprism.WithSwitchBucket(20*time.Second)).Analyze(res.Records, res.Topo)
+	report, err := llmprism.New(llmprism.WithSwitchBucket(20*time.Second)).AnalyzeFrame(res.Frame, res.Topo)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,8 +33,9 @@ func main() {
 	}
 	fmt.Printf("collected %d flow records from %d GPUs\n\n", len(res.Records), res.Topo.Endpoints())
 
-	// The black-box analysis: only flow records + the address→server map.
-	report, err := llmprism.New().Analyze(res.Records, res.Topo)
+	// The black-box analysis: only the collected flow frame + the
+	// address→server map. (Analyze accepts a plain []FlowRecord too.)
+	report, err := llmprism.New().AnalyzeFrame(res.Frame, res.Topo)
 	if err != nil {
 		log.Fatal(err)
 	}

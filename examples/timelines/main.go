@@ -32,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := llmprism.New().Analyze(res.Records, res.Topo)
+	report, err := llmprism.New().AnalyzeFrame(res.Frame, res.Topo)
 	if err != nil {
 		log.Fatal(err)
 	}

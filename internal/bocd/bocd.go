@@ -60,6 +60,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Detector is an online BOCD instance. Construct with New.
+//
+// Step is allocation-free in steady state: the posterior arrays are
+// double-buffered, so each update writes into last step's spare buffers
+// and swaps. Once the run-length distribution reaches MaxRunLength both
+// buffer pairs have their final capacity and no further allocation occurs —
+// this matters because the analysis pipeline runs one detector per endpoint
+// pair and per rank over every window.
 type Detector struct {
 	cfg     Config
 	logH    float64 // log hazard
@@ -70,7 +77,13 @@ type Detector struct {
 	alpha   []float64
 	beta    []float64
 	scratch []float64
-	n       int
+	// Spare buffers Step writes the next posterior into before swapping.
+	spareLogp  []float64
+	spareKappa []float64
+	spareMu    []float64
+	spareAlpha []float64
+	spareBeta  []float64
+	n          int
 }
 
 // New returns a Detector with the given configuration.
@@ -96,6 +109,24 @@ func (d *Detector) reset() {
 
 // N returns the number of observations consumed.
 func (d *Detector) N() int { return d.n }
+
+// Reset returns the detector to its initial state while keeping its
+// buffers, so one detector can be reused across many short sequences
+// without reallocating.
+func (d *Detector) Reset() { d.reset() }
+
+// nextBuf returns buf resized to n without preserving contents, growing
+// its capacity geometrically when needed.
+func nextBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		return make([]float64, n, c)
+	}
+	return buf[:n]
+}
 
 // studentTLogPDF returns the log density of x under a Student-t with nu
 // degrees of freedom, the given location, and scale sigma (not squared).
@@ -123,10 +154,8 @@ func lgamma(x float64) float64 {
 func (d *Detector) Step(x float64) float64 {
 	n := len(d.logp)
 	// Predictive log-probability of x under each run-length hypothesis.
-	if cap(d.scratch) < n {
-		d.scratch = make([]float64, n)
-	}
-	logpred := d.scratch[:n]
+	d.scratch = nextBuf(d.scratch, n)
+	logpred := d.scratch
 	for r := 0; r < n; r++ {
 		nu := 2 * d.alpha[r]
 		scale := math.Sqrt(d.beta[r] * (d.kappa[r] + 1) / (d.alpha[r] * d.kappa[r]))
@@ -136,8 +165,10 @@ func (d *Detector) Step(x float64) float64 {
 	logPriorPred := studentTLogPDF(x, 2*d.cfg.Alpha0, d.cfg.Mu0, priorScale)
 
 	// Growth probabilities: r -> r+1; the change-point hypothesis pools the
-	// hazard mass of every run and predicts x from the prior.
-	newLogp := make([]float64, n+1)
+	// hazard mass of every run and predicts x from the prior. The new
+	// posterior is written into the spare buffers, which never alias the
+	// current ones.
+	newLogp := nextBuf(d.spareLogp, n+1)
 	for r := 0; r < n; r++ {
 		newLogp[r+1] = d.logp[r] + logpred[r] + d.log1mH
 	}
@@ -152,10 +183,10 @@ func (d *Detector) Step(x float64) float64 {
 	// Posterior parameter update: run length r+1 inherits stats of r
 	// updated with x; run length 0 restarts from the prior updated with x
 	// (its segment contains exactly x).
-	newKappa := make([]float64, n+1)
-	newMu := make([]float64, n+1)
-	newAlpha := make([]float64, n+1)
-	newBeta := make([]float64, n+1)
+	newKappa := nextBuf(d.spareKappa, n+1)
+	newMu := nextBuf(d.spareMu, n+1)
+	newAlpha := nextBuf(d.spareAlpha, n+1)
+	newBeta := nextBuf(d.spareBeta, n+1)
 	k0, m0, a0, b0 := d.cfg.Kappa0, d.cfg.Mu0, d.cfg.Alpha0, d.cfg.Beta0
 	newKappa[0] = k0 + 1
 	newMu[0] = (k0*m0 + x) / (k0 + 1)
@@ -169,6 +200,8 @@ func (d *Detector) Step(x float64) float64 {
 		newBeta[r+1] = b + k*(x-m)*(x-m)/(2*(k+1))
 	}
 
+	d.spareLogp, d.spareKappa, d.spareMu, d.spareAlpha, d.spareBeta =
+		d.logp, d.kappa, d.mu, d.alpha, d.beta
 	d.logp, d.kappa, d.mu, d.alpha, d.beta = newLogp, newKappa, newMu, newAlpha, newBeta
 	d.truncate()
 	d.n++

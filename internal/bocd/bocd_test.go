@@ -258,6 +258,7 @@ func TestMedianOf(t *testing.T) {
 func BenchmarkDetectorStep(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	d := New(Config{MaxRunLength: 256})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Step(rng.NormFloat64())
@@ -269,5 +270,34 @@ func BenchmarkSplitTimes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SplitTimes(times, SplitConfig{})
+	}
+}
+
+// TestDetectorResetMatchesFresh pins the buffer-reuse contract: a detector
+// reused via Reset must emit exactly the probabilities a fresh detector
+// does, for several consecutive sequences — the double-buffered posterior
+// update must never let a stale buffer leak into a new run.
+func TestDetectorResetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	reused := New(Config{})
+	for run := 0; run < 4; run++ {
+		fresh := New(Config{})
+		if run > 0 {
+			reused.Reset()
+		}
+		for i := 0; i < 700; i++ { // past MaxRunLength truncation
+			x := rng.NormFloat64()
+			if i > 350 {
+				x += 8
+			}
+			pf := fresh.Step(x)
+			pr := reused.Step(x)
+			if pf != pr {
+				t.Fatalf("run %d step %d: fresh %v != reused %v", run, i, pf, pr)
+			}
+		}
+		if fresh.N() != reused.N() {
+			t.Fatalf("run %d: N %d != %d", run, fresh.N(), reused.N())
+		}
 	}
 }

@@ -136,7 +136,7 @@ func SplitTimes(times []time.Time, cfg SplitConfig) []Segment {
 			// regime is learned fresh.
 			segments = append(segments, Segment{Lo: lo, Hi: i + 1})
 			lo = i + 1
-			det = New(cfg.BOCD)
+			det.Reset()
 		}
 	}
 	segments = append(segments, Segment{Lo: lo, Hi: n})

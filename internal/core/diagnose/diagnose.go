@@ -279,6 +279,32 @@ func (a *SeriesAccum) Add(records []flow.Record, types map[flow.Pair]parallel.Ty
 	}
 }
 
+// AddView folds the DP-classified rows of one job's frame view into the
+// accumulator. The DP test runs once per pair (over the view's pair list)
+// instead of once per record, and rows stream in (start, id) order — the
+// same order Add visits a sorted record slice — so per-cell float sums are
+// bit-identical to the record path's.
+func (a *SeriesAccum) AddView(v flow.View, types map[flow.Pair]parallel.Type) {
+	f := v.Frame()
+	dp := make([]bool, v.NumPairs())
+	for i := range dp {
+		dp[i] = types[v.PairAt(i)] == parallel.TypeDP
+	}
+	rows := v.Rows()
+	rowPairs := v.RowPairs()
+	for k, ri := range rows {
+		if !dp[rowPairs[k]] {
+			continue
+		}
+		r := int(ri)
+		bucket := f.Start(r).Truncate(a.cfg.Bucket)
+		gbps := f.Gbps(r)
+		for _, sw := range f.Switches(r) {
+			a.cell(sw, bucket).add(1, gbps)
+		}
+	}
+}
+
 // Merge folds b's cells into a. b may be nil or empty; it is not modified.
 // Each (switch, bucket) cell combines independently, so the map iteration
 // order inside a single Merge cannot affect the result — only the order of

@@ -1,0 +1,74 @@
+package diagnose
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// switchTrace builds DP and PP flows over two switch paths across several
+// buckets, with sub-second jitter so per-cell float sums exercise order.
+func switchTrace() ([]flow.Record, map[flow.Pair]parallel.Type) {
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	var records []flow.Record
+	id := uint64(0)
+	for i := 0; i < 240; i++ {
+		id++
+		src, dst := flow.Addr(1+i%3), flow.Addr(4+i%2)
+		path := []flow.SwitchID{1, 5, 2}
+		if i%2 == 1 {
+			path = []flow.SwitchID{1, 6, 2}
+		}
+		records = append(records, flow.Record{
+			ID:       id,
+			Start:    base.Add(time.Duration(i) * 700 * time.Millisecond),
+			Duration: time.Duration(100+i%7*31) * time.Millisecond,
+			Src:      src,
+			Dst:      dst,
+			Bytes:    int64(1<<20 + i*1000),
+			Switches: path,
+		})
+	}
+	flow.SortByStart(records)
+	types := make(map[flow.Pair]parallel.Type)
+	for _, r := range records {
+		p := r.Pair()
+		// Alternate DP and PP pairs deterministically.
+		if (uint32(p.A)+uint32(p.B))%2 == 0 {
+			types[p] = parallel.TypeDP
+		} else {
+			types[p] = parallel.TypePP
+		}
+	}
+	return records, types
+}
+
+// TestAddViewMatchesAdd pins the float summation order contract: the view
+// path must fold exactly the same records into exactly the same cells in
+// exactly the same order as the record path, so the materialized series —
+// including MeanGbps floats — are deep-equal.
+func TestAddViewMatchesAdd(t *testing.T) {
+	records, types := switchTrace()
+	cfg := Config{Bucket: 2 * time.Second}
+
+	ref := NewSeriesAccum(cfg)
+	ref.Add(records, types)
+
+	got := NewSeriesAccum(cfg)
+	got.AddView(flow.NewFrame(records).All(), types)
+
+	if !reflect.DeepEqual(ref.Series(), got.Series()) {
+		t.Error("AddView series diverges from Add series")
+	}
+}
+
+func TestAddViewEmpty(t *testing.T) {
+	a := NewSeriesAccum(Config{})
+	a.AddView(flow.View{}, nil)
+	if len(a.Series()) != 0 {
+		t.Error("empty view produced series cells")
+	}
+}

@@ -1,0 +1,72 @@
+package jobrec
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+// multiJobTrace builds two rail-split jobs plus an unclustered stray
+// endpoint talking to itself (dropped by recognition).
+func multiJobTrace(t *testing.T, topo *topology.Topology) []flow.Record {
+	t.Helper()
+	var records []flow.Record
+	records = append(records, railFlows(t, topo, []topology.NodeID{0, 1, 2, 3}, 0, 100)...)
+	records = append(records, railFlows(t, topo, []topology.NodeID{0, 1, 2, 3}, 1, 200)...)
+	records = append(records, railFlows(t, topo, []topology.NodeID{4, 5, 6, 7}, 0, 300)...)
+	self := topo.AddrOf(4, 1)
+	records = append(records, flow.Record{ID: 999, Start: epoch, Src: self, Dst: self, Bytes: 1})
+	return records
+}
+
+func TestRecognizeFrameMatchesRecognize(t *testing.T) {
+	topo := testTopo(t)
+	records := multiJobTrace(t, topo)
+	f := flow.NewFrame(records)
+
+	if got, want := CrossMachineClustersFrame(f), CrossMachineClusters(records); !reflect.DeepEqual(got, want) {
+		t.Errorf("CrossMachineClustersFrame = %v, want %v", got, want)
+	}
+	got := RecognizeFrame(f, topo, Config{})
+	want := Recognize(records, topo, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RecognizeFrame = %+v, want %+v", got, want)
+	}
+}
+
+func TestSelectJobsMatchesSplitRecords(t *testing.T) {
+	topo := testTopo(t)
+	records := multiJobTrace(t, topo)
+	sorted := make([]flow.Record, len(records))
+	copy(sorted, records)
+	flow.SortByStart(sorted)
+
+	f := flow.NewFrame(records)
+	clusters := RecognizeFrame(f, topo, Config{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	views := SelectJobs(f, clusters)
+	perJob := SplitRecords(sorted, clusters)
+	for i := range clusters {
+		got := views[i].Records()
+		want := perJob[i]
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("job %d: view records diverge from SplitRecords (%d vs %d records)",
+				i, len(got), len(want))
+		}
+	}
+	// The self-flow of an unclustered endpoint lands in no view.
+	total := 0
+	for _, v := range views {
+		total += v.Len()
+	}
+	if total != len(records)-1 {
+		t.Errorf("views cover %d rows, want %d (stray self-flow dropped)", total, len(records)-1)
+	}
+}

@@ -58,6 +58,24 @@ func CrossMachineClusters(records []flow.Record) [][]flow.Addr {
 		}
 		u.Union(r.Src, r.Dst)
 	}
+	return sortedGroups(u)
+}
+
+// CrossMachineClustersFrame is CrossMachineClusters over a columnar frame.
+// It unions the frame's distinct pairs rather than every record — one DSU
+// operation per pair instead of per flow — and yields the same clusters.
+func CrossMachineClustersFrame(f *flow.Frame) [][]flow.Addr {
+	u := dsu.NewSparse[flow.Addr]()
+	for _, p := range f.Pairs() {
+		if p.A == p.B {
+			continue
+		}
+		u.Union(p.A, p.B)
+	}
+	return sortedGroups(u)
+}
+
+func sortedGroups(u *dsu.Sparse[flow.Addr]) [][]flow.Addr {
 	clusters := u.Groups()
 	for _, c := range clusters {
 		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
@@ -69,8 +87,19 @@ func CrossMachineClusters(records []flow.Record) [][]flow.Addr {
 // Recognize runs the full Algorithm 1: cross-machine clustering followed by
 // the topology-based server-set merge, yielding job-level clusters.
 func Recognize(records []flow.Record, mapper ServerMapper, cfg Config) []Cluster {
+	return mergeClusters(CrossMachineClusters(records), mapper, cfg)
+}
+
+// RecognizeFrame is Recognize over a columnar frame; the phase-1 clustering
+// walks the pair index instead of the rows.
+func RecognizeFrame(f *flow.Frame, mapper ServerMapper, cfg Config) []Cluster {
+	return mergeClusters(CrossMachineClustersFrame(f), mapper, cfg)
+}
+
+// mergeClusters runs the topology-based server-set merge over the phase-1
+// clusters.
+func mergeClusters(raw [][]flow.Addr, mapper ServerMapper, cfg Config) []Cluster {
 	cfg = cfg.withDefaults()
-	raw := CrossMachineClusters(records)
 
 	servers := make([][]topology.NodeID, len(raw))
 	for i, members := range raw {
@@ -118,6 +147,18 @@ func Recognize(records []flow.Record, mapper ServerMapper, cfg Config) []Cluster
 	}
 	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Endpoints[0] < clusters[j].Endpoints[0] })
 	return clusters
+}
+
+// SelectJobs partitions a frame into one view per recognized cluster,
+// without copying any records: each view is the cluster's pair spans plus
+// a start-ordered row permutation. Rows whose endpoints belong to no
+// cluster appear in no view, exactly like SplitRecords drops them.
+func SelectJobs(f *flow.Frame, clusters []Cluster) []flow.View {
+	groups := make([][]flow.Addr, len(clusters))
+	for i, c := range clusters {
+		groups[i] = c.Endpoints
+	}
+	return f.SelectMany(groups)
 }
 
 // SplitRecords partitions records by recognized cluster, dropping records

@@ -1,0 +1,39 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// mixedJob builds one job with a DP ring 1-2-3-1, a PP pair (3,4), and a
+// too-sparse pair (4,5) that stays unclassified.
+func mixedJob() []flow.Record {
+	var records []flow.Record
+	records = stepFlows(records, 1, 2, 8, time.Second, []int64{1 << 20, 1 << 18})
+	records = stepFlows(records, 2, 3, 8, time.Second, []int64{1 << 20, 1 << 18})
+	records = stepFlows(records, 1, 3, 8, time.Second, []int64{1 << 20, 1 << 20})
+	records = stepFlows(records, 3, 4, 8, time.Second, []int64{1 << 19})
+	records = append(records, flow.Record{ID: 999999, Start: epoch, Src: 4, Dst: 5, Bytes: 7})
+	return records
+}
+
+func TestIdentifyViewMatchesIdentify(t *testing.T) {
+	records := mixedJob()
+	for _, cfg := range []Config{{}, {DisableRefinement: true}, {MinFlows: 4}} {
+		want := Identify(sorted(records), cfg)
+		got := IdentifyView(flow.NewFrame(records).All(), cfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("cfg %+v: IdentifyView diverges from Identify:\n got %+v\nwant %+v", cfg, got, want)
+		}
+	}
+}
+
+func TestIdentifyViewEmpty(t *testing.T) {
+	got := IdentifyView(flow.View{}, Config{})
+	if len(got.Types) != 0 || len(got.DPGroups) != 0 {
+		t.Errorf("empty view produced %+v", got)
+	}
+}

@@ -115,22 +115,63 @@ func Identify(records []flow.Record, cfg Config) Classification {
 	return out
 }
 
+// IdentifyView classifies every communicating pair of one job's frame view.
+// It walks the view's pair spans — each already contiguous and sorted by
+// start — so no per-pair grouping maps or record copies are built; the
+// start-time and size columns stream through two reused scratch buffers.
+// The result is bit-identical to Identify over the equivalent record slice.
+func IdentifyView(v flow.View, cfg Config) Classification {
+	cfg = cfg.withDefaults()
+	f := v.Frame()
+	out := Classification{
+		Types:        make(map[flow.Pair]Type, v.NumPairs()),
+		StepsPerPair: make(map[flow.Pair]int, v.NumPairs()),
+	}
+	var times []time.Time
+	var sizes []int64
+	for i, n := 0, v.NumPairs(); i < n; i++ {
+		lo, hi := v.PairSpan(i)
+		if hi-lo < cfg.MinFlows {
+			continue
+		}
+		times = times[:0]
+		sizes = sizes[:0]
+		for r := lo; r < hi; r++ {
+			times = append(times, f.Start(r))
+			sizes = append(sizes, f.Bytes(r))
+		}
+		t, steps := classifySpan(times, sizes, cfg)
+		p := v.PairAt(i)
+		out.Types[p] = t
+		out.StepsPerPair[p] = steps
+	}
+
+	if !cfg.DisableRefinement {
+		refine(&out)
+	}
+	out.DPGroups = dpComponents(out.Types)
+	return out
+}
+
 // classifyPair divides one pair's flows into steps and applies the
 // distinct-size mode rule.
 func classifyPair(recs []flow.Record, cfg Config) (Type, int) {
 	times := make([]time.Time, len(recs))
+	sizes := make([]int64, len(recs))
 	for i, r := range recs {
 		times[i] = r.Start
+		sizes[i] = r.Bytes
 	}
-	segments := bocd.SplitTimes(times, cfg.Split)
+	return classifySpan(times, sizes, cfg)
+}
 
+// classifySpan is the shared classification core over one pair's start
+// times and flow sizes (parallel slices, sorted by start).
+func classifySpan(times []time.Time, sizes []int64, cfg Config) (Type, int) {
+	segments := bocd.SplitTimes(times, cfg.Split)
 	counts := make([]int, 0, len(segments))
 	for _, seg := range segments {
-		sizes := make([]int64, 0, seg.Len())
-		for i := seg.Lo; i < seg.Hi; i++ {
-			sizes = append(sizes, recs[i].Bytes)
-		}
-		counts = append(counts, stats.DistinctCount(sizes))
+		counts = append(counts, stats.DistinctCount(sizes[seg.Lo:seg.Hi]))
 	}
 	mode, _ := stats.Mode(counts)
 	if mode == 1 {

@@ -1,0 +1,37 @@
+package timeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+func TestReconstructViewMatchesReconstruct(t *testing.T) {
+	records, types := jobTrace(8, time.Second, 100*time.Millisecond)
+	want := Reconstruct(records, types, Config{})
+	got := ReconstructView(flow.NewFrame(records).All(), types, Config{})
+	if len(got) != len(want) {
+		t.Fatalf("ranks = %d, want %d", len(got), len(want))
+	}
+	for rank, wtl := range want {
+		gtl, ok := got[rank]
+		if !ok {
+			t.Fatalf("rank %v missing from view reconstruction", rank)
+		}
+		if !reflect.DeepEqual(wtl, gtl) {
+			t.Errorf("rank %v: view timeline diverges:\n got %+v\nwant %+v", rank, gtl, wtl)
+		}
+	}
+}
+
+func TestReconstructViewSparseDP(t *testing.T) {
+	// Below MinDPFlows no steps are reconstructed, matching the record path.
+	records, types := jobTrace(1, time.Second, 100*time.Millisecond)
+	want := Reconstruct(records, types, Config{MinDPFlows: 100})
+	got := ReconstructView(flow.NewFrame(records).All(), types, Config{MinDPFlows: 100})
+	if !reflect.DeepEqual(want, got) {
+		t.Error("sparse-DP view reconstruction diverges from record path")
+	}
+}

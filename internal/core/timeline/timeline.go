@@ -110,14 +110,80 @@ func Reconstruct(records []flow.Record, types map[flow.Pair]parallel.Type, cfg C
 	return out
 }
 
+// ReconstructView is Reconstruct over one job's frame view. Instead of
+// bucketing copied records per endpoint, it streams the view's rows (in
+// start order) once, appending each row's event to its source and
+// destination ranks' exactly-sized event buffers. Results are bit-identical
+// to Reconstruct over the equivalent record slice.
+func ReconstructView(v flow.View, types map[flow.Pair]parallel.Type, cfg Config) map[flow.Addr]*Timeline {
+	cfg = cfg.withDefaults()
+	f := v.Frame()
+	rows := v.Rows()
+
+	// Exact per-rank event counts, so every events slice allocates once.
+	counts := make(map[flow.Addr]int)
+	for _, r := range rows {
+		src, dst := f.Src(int(r)), f.Dst(int(r))
+		counts[src]++
+		if dst != src {
+			counts[dst]++
+		}
+	}
+	type rankBuild struct {
+		tl       *Timeline
+		dpStarts []time.Time
+		dpEnds   []time.Time
+	}
+	builds := make(map[flow.Addr]*rankBuild, len(counts))
+	for rank, n := range counts {
+		builds[rank] = &rankBuild{tl: &Timeline{Rank: rank, Events: make([]Event, 0, n)}}
+	}
+
+	add := func(b *rankBuild, rank flow.Addr, p flow.Pair, kind EventKind, start, end time.Time, bytes int64) {
+		if kind == EventDP {
+			b.dpStarts = append(b.dpStarts, start)
+			b.dpEnds = append(b.dpEnds, end)
+		}
+		b.tl.Events = append(b.tl.Events, Event{
+			Kind:  kind,
+			Start: start,
+			End:   end,
+			Peer:  p.Other(rank),
+			Bytes: bytes,
+		})
+	}
+	for _, ri := range rows {
+		r := int(ri)
+		p := f.PairOf(r)
+		kind := EventPP
+		if types[p] == parallel.TypeDP {
+			kind = EventDP
+		}
+		start, end, bytes := f.Start(r), f.End(r), f.Bytes(r)
+		src, dst := f.Src(r), f.Dst(r)
+		add(builds[src], src, p, kind, start, end, bytes)
+		if dst != src {
+			add(builds[dst], dst, p, kind, start, end, bytes)
+		}
+	}
+
+	out := make(map[flow.Addr]*Timeline, len(builds))
+	for rank, b := range builds {
+		reconstructSteps(b.tl, b.dpStarts, b.dpEnds, cfg)
+		out[rank] = b.tl
+	}
+	return out
+}
+
 func reconstructRank(rank flow.Addr, recs []flow.Record, types map[flow.Pair]parallel.Type, cfg Config) *Timeline {
 	tl := &Timeline{Rank: rank}
-	var dpRecs []flow.Record
+	var dpStarts, dpEnds []time.Time
 	for _, r := range recs {
 		kind := EventPP
 		if types[r.Pair()] == parallel.TypeDP {
 			kind = EventDP
-			dpRecs = append(dpRecs, r)
+			dpStarts = append(dpStarts, r.Start)
+			dpEnds = append(dpEnds, r.End())
 		}
 		tl.Events = append(tl.Events, Event{
 			Kind:  kind,
@@ -127,26 +193,31 @@ func reconstructRank(rank flow.Addr, recs []flow.Record, types map[flow.Pair]par
 			Bytes: r.Bytes,
 		})
 	}
+	reconstructSteps(tl, dpStarts, dpEnds, cfg)
+	return tl
+}
+
+// reconstructSteps is the shared step-division core: events are the rank's
+// communication events in flow order, dpStarts/dpEnds the start and end
+// times of its DP flows in that same order. It sorts the events
+// chronologically and appends the reconstructed steps to tl.
+func reconstructSteps(tl *Timeline, dpStarts, dpEnds []time.Time, cfg Config) {
 	sort.Slice(tl.Events, func(i, j int) bool { return tl.Events[i].Start.Before(tl.Events[j].Start) })
 
-	if len(dpRecs) < cfg.MinDPFlows {
-		return tl
+	if len(dpStarts) < cfg.MinDPFlows {
+		return
 	}
-	times := make([]time.Time, len(dpRecs))
-	for i, r := range dpRecs {
-		times[i] = r.Start
-	}
-	segments := bocd.SplitTimes(times, cfg.Split)
+	segments := bocd.SplitTimes(dpStarts, cfg.Split)
 
 	var prevEnd time.Time
 	if len(tl.Events) > 0 {
 		prevEnd = tl.Events[0].Start
 	}
 	for i, seg := range segments {
-		dpStart := dpRecs[seg.Lo].Start
-		dpEnd := dpRecs[seg.Lo].End()
+		dpStart := dpStarts[seg.Lo]
+		dpEnd := dpEnds[seg.Lo]
 		for k := seg.Lo; k < seg.Hi; k++ {
-			if e := dpRecs[k].End(); e.After(dpEnd) {
+			if e := dpEnds[k]; e.After(dpEnd) {
 				dpEnd = e
 			}
 		}
@@ -161,7 +232,6 @@ func reconstructRank(rank flow.Addr, recs []flow.Record, types map[flow.Pair]par
 		tl.Steps = append(tl.Steps, step)
 		prevEnd = dpEnd
 	}
-	return tl
 }
 
 func countEventsIn(events []Event, from, to time.Time) int {

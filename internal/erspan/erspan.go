@@ -41,7 +41,10 @@ type Config struct {
 	Seed int64
 }
 
-// pendingKey identifies an aggregation stream: endpoint pair + path.
+// pendingKey identifies an aggregation stream: endpoint pair + path. The
+// path component stays a content hash (not the interned PathID) so the
+// deterministic flush order — and with it every downstream RNG draw — is
+// identical to the historical record-slice collector's.
 type pendingKey struct {
 	src, dst flow.Addr
 	path     uint64
@@ -51,16 +54,19 @@ type pendingKey struct {
 type pending struct {
 	start, end time.Duration
 	bytes      int64
-	switches   []flow.SwitchID
+	path       flow.PathID
 }
 
-// Collector accumulates flow records from network completions.
+// Collector accumulates flow records from network completions. Records are
+// emitted straight into a columnar flow.FrameBuilder: each distinct switch
+// path is interned exactly once, so per-record path copies — previously one
+// heap slice per exported record — no longer exist.
 type Collector struct {
 	cfg    Config
 	epoch  time.Time
 	rng    *rand.Rand
 	nextID uint64
-	recs   []flow.Record
+	fb     *flow.FrameBuilder
 	agg    map[pendingKey]*pending
 
 	observed uint64
@@ -73,6 +79,7 @@ func New(epoch time.Time, cfg Config) *Collector {
 		cfg:   cfg,
 		epoch: epoch,
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x3ade68b1)),
+		fb:    flow.NewFrameBuilder(),
 		agg:   make(map[pendingKey]*pending),
 	}
 }
@@ -84,7 +91,7 @@ func (c *Collector) Observe(comp netsim.Completion) {
 	}
 	c.observed++
 	if c.cfg.AggregateGap <= 0 {
-		c.export(comp.Src, comp.Dst, comp.Switches, comp.Start, comp.End, comp.Bytes)
+		c.export(comp.Src, comp.Dst, c.fb.InternPath(comp.Switches), comp.Start, comp.End, comp.Bytes)
 		return
 	}
 	key := pendingKey{src: comp.Src, dst: comp.Dst, path: pathKey(comp.Switches)}
@@ -97,13 +104,11 @@ func (c *Collector) Observe(comp netsim.Completion) {
 		return
 	}
 	if ok {
-		c.export(comp.Src, comp.Dst, p.switches, p.start, p.end, p.bytes)
+		c.export(comp.Src, comp.Dst, p.path, p.start, p.end, p.bytes)
 	}
-	switches := make([]flow.SwitchID, len(comp.Switches))
-	copy(switches, comp.Switches)
 	c.agg[key] = &pending{
 		start: comp.Start, end: comp.End,
-		bytes: comp.Bytes, switches: switches,
+		bytes: comp.Bytes, path: c.fb.InternPath(comp.Switches),
 	}
 }
 
@@ -118,46 +123,45 @@ func pathKey(switches []flow.SwitchID) uint64 {
 
 // export runs the per-record noise pipeline (loss, splitting, duplication)
 // on one assembled flow record.
-func (c *Collector) export(src, dst flow.Addr, switches []flow.SwitchID, start, end time.Duration, bytes int64) {
+func (c *Collector) export(src, dst flow.Addr, path flow.PathID, start, end time.Duration, bytes int64) {
 	if c.cfg.LossProb > 0 && c.rng.Float64() < c.cfg.LossProb {
 		c.lost++
 		return
 	}
-	comp := netsim.Completion{Src: src, Dst: dst, Switches: switches, Bytes: bytes}
 	dur := end - start
 	if dur < 0 {
 		dur = 0
 	}
 	if c.cfg.ActiveTimeout > 0 && dur > c.cfg.ActiveTimeout {
-		c.emitSplit(comp, start, dur)
+		c.emitSplit(src, dst, path, start, dur, bytes)
 	} else {
-		c.emit(comp, start, dur, bytes)
+		c.emit(src, dst, path, start, dur, bytes)
 	}
 	if c.cfg.DuplicateProb > 0 && c.rng.Float64() < c.cfg.DuplicateProb {
-		c.emit(comp, start, dur, bytes)
+		c.emit(src, dst, path, start, dur, bytes)
 	}
 }
 
 // emitSplit exports a long flow as consecutive records of at most
 // ActiveTimeout each, with proportional byte counts.
-func (c *Collector) emitSplit(comp netsim.Completion, start, dur time.Duration) {
+func (c *Collector) emitSplit(src, dst flow.Addr, path flow.PathID, start, dur time.Duration, bytes int64) {
 	timeout := c.cfg.ActiveTimeout
-	remainingBytes := comp.Bytes
+	remainingBytes := bytes
 	for off := time.Duration(0); off < dur; off += timeout {
 		sliceDur := timeout
 		if off+sliceDur > dur {
 			sliceDur = dur - off
 		}
-		sliceBytes := int64(float64(comp.Bytes) * float64(sliceDur) / float64(dur))
+		sliceBytes := int64(float64(bytes) * float64(sliceDur) / float64(dur))
 		if off+timeout >= dur {
 			sliceBytes = remainingBytes // last slice takes the remainder
 		}
 		remainingBytes -= sliceBytes
-		c.emit(comp, start+off, sliceDur, sliceBytes)
+		c.emit(src, dst, path, start+off, sliceDur, sliceBytes)
 	}
 }
 
-func (c *Collector) emit(comp netsim.Completion, start, dur time.Duration, bytes int64) {
+func (c *Collector) emit(src, dst flow.Addr, path flow.PathID, start, dur time.Duration, bytes int64) {
 	if c.cfg.TimeJitter > 0 {
 		start += time.Duration(c.rng.NormFloat64() * float64(c.cfg.TimeJitter))
 		if start < 0 {
@@ -165,23 +169,11 @@ func (c *Collector) emit(comp netsim.Completion, start, dur time.Duration, bytes
 		}
 	}
 	c.nextID++
-	switches := make([]flow.SwitchID, len(comp.Switches))
-	copy(switches, comp.Switches)
-	c.recs = append(c.recs, flow.Record{
-		ID:       c.nextID,
-		Start:    c.epoch.Add(start),
-		Duration: dur,
-		Src:      comp.Src,
-		Dst:      comp.Dst,
-		Bytes:    bytes,
-		Switches: switches,
-	})
+	c.fb.Append(c.nextID, c.epoch.Add(start), dur, src, dst, bytes, path)
 }
 
-// Records flushes any pending aggregations and returns the collected
-// records sorted by start time.
-func (c *Collector) Records() []flow.Record {
-	// Deterministic flush order.
+// flush exports pending aggregations in deterministic key order.
+func (c *Collector) flush() {
 	keys := make([]pendingKey, 0, len(c.agg))
 	for k := range c.agg {
 		keys = append(keys, k)
@@ -197,11 +189,23 @@ func (c *Collector) Records() []flow.Record {
 	})
 	for _, k := range keys {
 		p := c.agg[k]
-		c.export(k.src, k.dst, p.switches, p.start, p.end, p.bytes)
+		c.export(k.src, k.dst, p.path, p.start, p.end, p.bytes)
 		delete(c.agg, k)
 	}
-	flow.SortByStart(c.recs)
-	return c.recs
+}
+
+// Frame flushes any pending aggregations and builds the columnar frame of
+// everything collected so far.
+func (c *Collector) Frame() *flow.Frame {
+	c.flush()
+	return c.fb.Build()
+}
+
+// Records flushes any pending aggregations and returns the collected
+// records sorted by start time. The records' switch paths alias the
+// collector's interned path table and must be treated as read-only.
+func (c *Collector) Records() []flow.Record {
+	return c.Frame().RecordsByStart()
 }
 
 // Observed returns how many fabric flows reached the collector

@@ -1,0 +1,48 @@
+package erspan
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// TestCollectorInternsPaths pins the collector's storage contract: however
+// many records a route exports, its switch path is stored once.
+func TestCollectorInternsPaths(t *testing.T) {
+	c := New(epoch, Config{})
+	for i := 0; i < 1000; i++ {
+		at := time.Duration(i) * time.Millisecond
+		cp := comp(1, 2, 1000, at, at+time.Millisecond)
+		if i%2 == 1 {
+			cp.Switches = []flow.SwitchID{3, 7, 4}
+		}
+		c.Observe(cp)
+	}
+	f := c.Frame()
+	if f.Len() != 1000 {
+		t.Fatalf("rows = %d, want 1000", f.Len())
+	}
+	if got := f.PathTable().NumPaths(); got != 2 {
+		t.Errorf("interned paths = %d, want 2", got)
+	}
+}
+
+// TestCollectorFrameMatchesRecords verifies the two output forms agree.
+func TestCollectorFrameMatchesRecords(t *testing.T) {
+	build := func() *Collector {
+		c := New(epoch, Config{LossProb: 0.2, DuplicateProb: 0.1, TimeJitter: time.Microsecond,
+			AggregateGap: 2 * time.Millisecond, Seed: 42})
+		for i := 0; i < 500; i++ {
+			at := time.Duration(i) * 3 * time.Millisecond
+			c.Observe(comp(flow.Addr(i%4), flow.Addr(4+i%4), int64(1000+i), at, at+2*time.Millisecond))
+		}
+		return c
+	}
+	recs := build().Records()
+	frame := build().Frame()
+	if !reflect.DeepEqual(recs, frame.RecordsByStart()) {
+		t.Error("Records and Frame materialization diverge for the same seed")
+	}
+}

@@ -62,22 +62,32 @@ func parseSwitches(s string) ([]SwitchID, error) {
 	if s == "" {
 		return nil, nil
 	}
-	parts := strings.Split(s, "|")
-	out := make([]SwitchID, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("flow: parse switch %q: %w", p, err)
+	out := make([]SwitchID, 0, strings.Count(s, "|")+1)
+	for {
+		part := s
+		last := true
+		if i := strings.IndexByte(s, '|'); i >= 0 {
+			part, s = s[:i], s[i+1:]
+			last = false
 		}
-		out[i] = SwitchID(v)
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("flow: parse switch %q: %w", part, err)
+		}
+		out = append(out, SwitchID(v))
+		if last {
+			return out, nil
+		}
 	}
-	return out, nil
 }
 
-// ReadCSV reads records written by WriteCSV.
+// ReadCSV reads records written by WriteCSV. It streams: the csv reader
+// reuses one row buffer across lines, and each line is parsed in place into
+// a preallocated record slot instead of an intermediate value.
 func ReadCSV(r io.Reader) ([]Record, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("flow: read csv header: %w", err)
@@ -87,7 +97,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("flow: unexpected csv column %d: got %q, want %q", i, header[i], col)
 		}
 	}
-	var records []Record
+	records := make([]Record, 0, 64)
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
@@ -96,46 +106,44 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("flow: read csv line %d: %w", line, err)
 		}
-		rec, err := parseCSVRow(row)
-		if err != nil {
+		records = append(records, Record{})
+		if err := parseCSVRow(row, &records[len(records)-1]); err != nil {
 			return nil, fmt.Errorf("flow: csv line %d: %w", line, err)
 		}
-		records = append(records, rec)
 	}
 	return records, nil
 }
 
-func parseCSVRow(row []string) (Record, error) {
-	var rec Record
+func parseCSVRow(row []string, rec *Record) error {
 	id, err := strconv.ParseUint(row[0], 10, 64)
 	if err != nil {
-		return rec, fmt.Errorf("id: %w", err)
+		return fmt.Errorf("id: %w", err)
 	}
 	startNS, err := strconv.ParseInt(row[1], 10, 64)
 	if err != nil {
-		return rec, fmt.Errorf("start: %w", err)
+		return fmt.Errorf("start: %w", err)
 	}
 	durNS, err := strconv.ParseInt(row[2], 10, 64)
 	if err != nil {
-		return rec, fmt.Errorf("duration: %w", err)
+		return fmt.Errorf("duration: %w", err)
 	}
 	src, err := ParseAddr(row[3])
 	if err != nil {
-		return rec, err
+		return err
 	}
 	dst, err := ParseAddr(row[4])
 	if err != nil {
-		return rec, err
+		return err
 	}
 	bytes, err := strconv.ParseInt(row[5], 10, 64)
 	if err != nil {
-		return rec, fmt.Errorf("bytes: %w", err)
+		return fmt.Errorf("bytes: %w", err)
 	}
 	switches, err := parseSwitches(row[6])
 	if err != nil {
-		return rec, err
+		return err
 	}
-	rec = Record{
+	*rec = Record{
 		ID:       id,
 		Start:    time.Unix(0, startNS).UTC(),
 		Duration: time.Duration(durNS),
@@ -144,7 +152,7 @@ func parseCSVRow(row []string) (Record, error) {
 		Bytes:    bytes,
 		Switches: switches,
 	}
-	return rec, nil
+	return nil
 }
 
 // recordJSON is the stable JSONL wire form of a Record.

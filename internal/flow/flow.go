@@ -12,6 +12,8 @@ package flow
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -23,27 +25,55 @@ type Addr uint32
 
 // String renders the address in dotted form, e.g. "10.0.3.5".
 func (a Addr) String() string {
-	return fmt.Sprintf("10.%d.%d.%d", (a>>16)&0xff, (a>>8)&0xff, a&0xff)
+	buf := make([]byte, 0, len("10.255.255.255"))
+	buf = append(buf, '1', '0')
+	for _, oct := range [3]uint32{uint32(a>>16) & 0xff, uint32(a>>8) & 0xff, uint32(a) & 0xff} {
+		buf = append(buf, '.')
+		buf = strconv.AppendUint(buf, uint64(oct), 10)
+	}
+	return string(buf)
 }
 
-// ParseAddr parses the dotted form produced by Addr.String.
+// ParseAddr parses the dotted form produced by Addr.String: exactly
+// "10.x.y.z" with each octet a decimal in [0, 255] and nothing trailing.
 func ParseAddr(s string) (Addr, error) {
-	var p0, p1, p2, p3 uint32
-	if _, err := fmt.Sscanf(s, "10.%d.%d.%d", &p1, &p2, &p3); err != nil {
-		return 0, fmt.Errorf("flow: parse addr %q: %w", s, err)
+	rest, ok := strings.CutPrefix(s, "10.")
+	if !ok {
+		return 0, fmt.Errorf("flow: parse addr %q: want 10.x.y.z form", s)
 	}
-	_ = p0
-	if p1 > 255 || p2 > 255 || p3 > 255 {
-		return 0, fmt.Errorf("flow: parse addr %q: octet out of range", s)
+	var v uint32
+	for oct := 0; oct < 3; oct++ {
+		if oct > 0 {
+			if rest, ok = strings.CutPrefix(rest, "."); !ok {
+				return 0, fmt.Errorf("flow: parse addr %q: want 4 octets", s)
+			}
+		}
+		n := 0
+		var part uint32
+		for n < len(rest) && rest[n] >= '0' && rest[n] <= '9' {
+			part = part*10 + uint32(rest[n]-'0')
+			if part > 255 {
+				return 0, fmt.Errorf("flow: parse addr %q: octet out of range", s)
+			}
+			n++
+		}
+		if n == 0 || n > 3 {
+			return 0, fmt.Errorf("flow: parse addr %q: bad octet", s)
+		}
+		v = v<<8 | part
+		rest = rest[n:]
 	}
-	return Addr(p1<<16 | p2<<8 | p3), nil
+	if rest != "" {
+		return 0, fmt.Errorf("flow: parse addr %q: trailing garbage %q", s, rest)
+	}
+	return Addr(v), nil
 }
 
 // SwitchID identifies a fabric switch in collected flow records.
 type SwitchID int32
 
 // String renders the switch identifier, e.g. "sw-12".
-func (s SwitchID) String() string { return fmt.Sprintf("sw-%d", int32(s)) }
+func (s SwitchID) String() string { return "sw-" + strconv.FormatInt(int64(s), 10) }
 
 // Record is one collected network flow.
 type Record struct {

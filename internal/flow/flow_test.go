@@ -245,6 +245,21 @@ func recordsEqual(a, b Record) bool {
 	return true
 }
 
+func TestParseSwitchesRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"|", "3|", "|3", "3||7", "3|x", "x"} {
+		if _, err := parseSwitches(s); err == nil {
+			t.Errorf("parseSwitches(%q) succeeded, want error", s)
+		}
+	}
+	got, err := parseSwitches("3|7|11")
+	if err != nil || len(got) != 3 || got[0] != 3 || got[1] != 7 || got[2] != 11 {
+		t.Errorf("parseSwitches(\"3|7|11\") = %v, %v", got, err)
+	}
+	if got, err := parseSwitches(""); err != nil || got != nil {
+		t.Errorf("parseSwitches(\"\") = %v, %v; want nil, nil", got, err)
+	}
+}
+
 func TestReadCSVRejectsBadHeader(t *testing.T) {
 	if _, err := ReadCSV(bytes.NewBufferString("a,b,c,d,e,f,g\n")); err == nil {
 		t.Error("ReadCSV accepted bad header")

@@ -43,7 +43,12 @@ type Scenario struct {
 
 // Result is the output of one platform run.
 type Result struct {
-	Topo    *topology.Topology
+	Topo *topology.Topology
+	// Frame is the collected flow window in columnar form — the native
+	// input of Analyzer.AnalyzeFrame.
+	Frame *flow.Frame
+	// Records is Frame materialized in start order. Switch paths alias the
+	// frame's interned path table; treat them as read-only.
 	Records []flow.Record
 	Truth   truth.Platform
 	Stats   trainsim.Stats
@@ -72,9 +77,11 @@ func Run(s Scenario) (*Result, error) {
 	if err := cluster.Run(s.Horizon); err != nil {
 		return nil, fmt.Errorf("platform: scenario %q: %w", s.Name, err)
 	}
+	frame := coll.Frame()
 	return &Result{
 		Topo:     topo,
-		Records:  coll.Records(),
+		Frame:    frame,
+		Records:  frame.RecordsByStart(),
 		Truth:    cluster.Truth(epoch),
 		Stats:    cluster.Stats(),
 		Observed: coll.Observed(),

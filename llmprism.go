@@ -23,17 +23,27 @@
 //	report, err := llmprism.New().Analyze(res.Records, res.Topo)
 //	for _, job := range report.Jobs { ... }
 //
-// # Concurrency
+// # Concurrency and data layout
 //
-// After job recognition, each recognized job's identify → timeline →
-// diagnose chain is independent, so Analyze fans jobs out to a worker pool
-// sized by WithWorkers (default GOMAXPROCS) and merges the per-job results
-// back in deterministic smallest-endpoint order; the switch-level series is
-// assembled from per-job partial aggregations merged in that same order.
-// The report is therefore bit-identical for any worker count, including the
-// sequential WithWorkers(1) pipeline. AnalyzeContext is the cancellable
-// form; Monitor windows analyzed via FeedContext flow through the same
-// pool. The cmd/llmprism and cmd/repro CLIs expose the knob as -workers.
+// Analysis runs over an immutable columnar flow.Frame: the window's records
+// are loaded once into struct-of-arrays columns with switch paths interned
+// into a shared table, sorted by (endpoint pair, start, id). Analyze and
+// AnalyzeContext build the frame from a record slice as thin adapters;
+// AnalyzeFrame accepts an already-built frame (NewFlowFrame, or the
+// collector's own builder).
+//
+// After job recognition — a DSU pass over the frame's pair index — each
+// recognized job's identify → timeline → diagnose chain is independent, so
+// the pipeline hands each worker a zero-copy view of its job's rows and
+// fans jobs out to a worker pool sized by WithWorkers (default GOMAXPROCS),
+// merging the per-job results back in deterministic smallest-endpoint
+// order; the switch-level series is assembled from per-job partial
+// aggregations merged in that same order. The report is therefore
+// bit-identical for any worker count — and for the frame-free record-slice
+// pipeline — including the sequential WithWorkers(1) form. Monitor windows
+// analyzed via FeedContext build one frame per window and flow through the
+// same pool. The cmd/llmprism and cmd/repro CLIs expose the knob as
+// -workers.
 package llmprism
 
 import (
@@ -115,7 +125,10 @@ func New(opts ...Option) *Analyzer {
 type JobReport struct {
 	// Cluster is the recognized job: endpoints and servers.
 	Cluster jobrec.Cluster
-	// Records are the job's flow records (sorted by start time).
+	// Records are the job's flow records (sorted by start time). They are
+	// materialized from the analysis frame: timestamps are normalized to
+	// UTC, empty switch paths are nil, and the Switches slices alias the
+	// window's shared interned path table — treat them as read-only.
 	Records []flow.Record
 	// Types classifies each communicating pair as PP or DP.
 	Types map[flow.Pair]parallel.Type
@@ -154,10 +167,19 @@ func (r *Report) Alerts() []diagnose.Alert {
 
 // Analyze runs the full pipeline over one window of flow records. mapper
 // resolves endpoints to servers (a *topology.Topology satisfies it).
-// records need not be sorted; they are not modified. Analyze is
+// records need not be sorted; they are not modified (the window is loaded
+// into a columnar frame, and the report's JobReport.Records are
+// re-materialized from it rather than aliased from the input — see the
+// field's doc for the normalization that implies). Analyze is
 // AnalyzeContext with a background context.
 func (a *Analyzer) Analyze(records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
 	return a.AnalyzeContext(context.Background(), records, mapper)
+}
+
+// AnalyzeFrame runs the full pipeline over an already-built columnar frame.
+// It is AnalyzeFrameContext with a background context.
+func (a *Analyzer) AnalyzeFrame(f *flow.Frame, mapper jobrec.ServerMapper) (*Report, error) {
+	return a.AnalyzeFrameContext(context.Background(), f, mapper)
 }
 
 // jobAnalysis is one worker's output: the job's report plus its private
@@ -167,15 +189,27 @@ type jobAnalysis struct {
 	series *diagnose.SeriesAccum
 }
 
-// AnalyzeContext runs the full pipeline over one window of flow records,
+// AnalyzeContext runs the full pipeline over one window of flow records.
+// It is a thin adapter over AnalyzeFrameContext: the window is loaded once
+// into a columnar flow.Frame (which also establishes the canonical sort
+// order, so no separate sorted copy is made) and analyzed from there. The
+// report is bit-identical to analyzing the records directly with the
+// classic record-slice pipeline.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
+	return a.AnalyzeFrameContext(ctx, flow.NewFrame(records), mapper)
+}
+
+// AnalyzeFrameContext runs the full pipeline over one columnar frame,
 // fanning the per-job identify → timeline → diagnose chains out to a
-// worker pool of Config.Workers goroutines (default GOMAXPROCS). Job
+// worker pool of Config.Workers goroutines (default GOMAXPROCS). Each
+// worker receives a zero-copy view of its job's rows (pair spans plus a
+// start-ordered row permutation) rather than a filtered record slice. Job
 // reports are merged back in smallest-endpoint order and the switch-level
 // series is built from per-job partial aggregations merged in that same
 // order, so the report is bit-identical for every worker count. ctx
 // cancellation aborts between pipeline phases and returns ctx.Err().
-func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
-	if len(records) == 0 {
+func (a *Analyzer) AnalyzeFrameContext(ctx context.Context, f *flow.Frame, mapper jobrec.ServerMapper) (*Report, error) {
+	if f == nil || f.Len() == 0 {
 		return nil, fmt.Errorf("llmprism: no flow records to analyze")
 	}
 	if mapper == nil {
@@ -184,23 +218,20 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, ma
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sorted := make([]flow.Record, len(records))
-	copy(sorted, records)
-	flow.SortByStart(sorted)
 
-	// Recognition is a single cheap DSU pass over the whole window; the
+	// Recognition is a single cheap DSU pass over the pair index; the
 	// expensive phases below are per-job and embarrassingly parallel.
-	clusters := jobrec.Recognize(sorted, mapper, a.cfg.Recognition)
-	perJob := jobrec.SplitRecords(sorted, clusters)
+	clusters := jobrec.RecognizeFrame(f, mapper, a.cfg.Recognition)
+	views := jobrec.SelectJobs(f, clusters)
 
 	analyses, err := pool.Map(ctx, a.cfg.Workers, clusters,
 		func(ctx context.Context, i int, cluster jobrec.Cluster) (jobAnalysis, error) {
-			jobRecs := perJob[i]
-			cls := parallel.Identify(jobRecs, a.cfg.Parallel)
+			v := views[i]
+			cls := parallel.IdentifyView(v, a.cfg.Parallel)
 			if err := ctx.Err(); err != nil {
 				return jobAnalysis{}, err
 			}
-			tls := timeline.Reconstruct(jobRecs, cls.Types, a.cfg.Timeline)
+			tls := timeline.ReconstructView(v, cls.Types, a.cfg.Timeline)
 			if err := ctx.Err(); err != nil {
 				return jobAnalysis{}, err
 			}
@@ -209,11 +240,11 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, ma
 			alerts = append(alerts, diagnose.CrossGroup(tls, cls.DPGroups, a.cfg.Diagnosis)...)
 
 			series := diagnose.NewSeriesAccum(a.cfg.Diagnosis)
-			series.Add(jobRecs, cls.Types)
+			series.AddView(v, cls.Types)
 			return jobAnalysis{
 				report: JobReport{
 					Cluster:      cluster,
-					Records:      jobRecs,
+					Records:      v.Records(),
 					Types:        cls.Types,
 					DPGroups:     cls.DPGroups,
 					StepsPerPair: cls.StepsPerPair,

@@ -15,9 +15,10 @@ import (
 // independently, yielding reports (and their alerts) in order.
 //
 // Monitor is not safe for concurrent use; feed it from one goroutine. Each
-// completed window is analyzed through the analyzer's worker pool (see
-// WithWorkers), so per-window latency shrinks with cores while reports
-// stay bit-identical to a sequential analyzer's.
+// completed window is loaded once into a columnar flow.Frame and analyzed
+// through the analyzer's worker pool (see WithWorkers), so per-window
+// latency shrinks with cores while reports stay bit-identical to a
+// sequential analyzer's.
 type Monitor struct {
 	analyzer *Analyzer
 	mapper   jobrec.ServerMapper

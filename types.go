@@ -23,6 +23,12 @@ import (
 type (
 	// FlowRecord is one collected network flow (ERSPAN-style).
 	FlowRecord = flow.Record
+	// FlowFrame is the immutable columnar form of one flow window, with
+	// interned switch paths and per-pair/per-job index views. Build with
+	// NewFlowFrame and analyze with Analyzer.AnalyzeFrame.
+	FlowFrame = flow.Frame
+	// FlowView is a zero-copy subset of a FlowFrame (one job's rows).
+	FlowView = flow.View
 	// Addr is an opaque NIC/GPU endpoint address.
 	Addr = flow.Addr
 	// Pair is an unordered endpoint pair.
@@ -115,6 +121,10 @@ func Simulate(s Scenario) (*SimResult, error) { return platform.Run(s) }
 func PlanJobs(spec TopologySpec, plans []JobPlan, seed int64) ([]JobConfig, error) {
 	return platform.PlanJobs(spec, plans, seed)
 }
+
+// NewFlowFrame builds the columnar frame of one flow window. The input is
+// not modified and need not be sorted.
+func NewFlowFrame(records []FlowRecord) *FlowFrame { return flow.NewFrame(records) }
 
 // ReadFlowsCSV / WriteFlowsCSV read and write the collector CSV format.
 func ReadFlowsCSV(r io.Reader) ([]FlowRecord, error)  { return flow.ReadCSV(r) }
