@@ -193,10 +193,7 @@ func TestMonitorFeedContextMatchesFeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if tail != nil {
-			reports = append(reports, tail)
-		}
-		return reports
+		return append(reports, tail...)
 	}
 
 	mSeq, err := NewMonitor(New(WithWorkers(1)), topo, 8*time.Second)

@@ -260,33 +260,88 @@ func BenchmarkAnalyzeFrame(b *testing.B) {
 	b.ReportMetric(float64(len(records)), "records/op")
 }
 
-// BenchmarkMonitorFeed measures streaming ingestion in 5-second batches.
+// monitorBenchBatches slices the trace into collector-export-sized batches
+// (1-second cadence), computed once so the benches measure ingestion and
+// analysis, not slicing.
+var monitorBenchBatches [][]flow.Record
+
+func benchBatches(b *testing.B) [][]flow.Record {
+	b.Helper()
+	records, _ := benchTrace(b)
+	if monitorBenchBatches == nil {
+		const cadence = time.Second
+		cut := records[0].Start.Add(cadence)
+		lo := 0
+		for i, r := range records {
+			if r.Start.After(cut) {
+				monitorBenchBatches = append(monitorBenchBatches, records[lo:i])
+				lo = i
+				cut = cut.Add(cadence)
+			}
+		}
+		monitorBenchBatches = append(monitorBenchBatches, records[lo:])
+	}
+	return monitorBenchBatches
+}
+
+// monitorBenchWindow gives the 60-second bench trace 12 windows, so the
+// per-feed ingest cost is measured across enough window turnover to expose
+// any dependence on total buffered history.
+const monitorBenchWindow = 5 * time.Second
+
+// BenchmarkMonitorFeed measures the synchronous Feed loop: batch-sorted
+// merge ingestion plus one blocking window analysis per completed window.
 func BenchmarkMonitorFeed(b *testing.B) {
+	batches := benchBatches(b)
 	records, topo := benchTrace(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		monitor, err := NewMonitor(New(), topo, 20*time.Second)
+		monitor, err := NewMonitor(New(), topo, monitorBenchWindow)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var batch []flow.Record
-		cut := records[0].Start.Add(5 * time.Second)
-		for _, r := range records {
-			if r.Start.After(cut) {
-				if _, err := monitor.Feed(batch); err != nil {
-					b.Fatal(err)
-				}
-				batch = batch[:0]
-				cut = cut.Add(5 * time.Second)
+		for _, batch := range batches {
+			if _, err := monitor.Feed(batch); err != nil {
+				b.Fatal(err)
 			}
-			batch = append(batch, r)
-		}
-		if _, err := monitor.Feed(batch); err != nil {
-			b.Fatal(err)
 		}
 		if _, err := monitor.Flush(); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkMonitorStream measures the pipelined streaming session over the
+// same trace, batches and window grid: incremental per-window ingestion
+// (append + intern per record, no buffered-history re-sort) with closed
+// windows analyzing asynchronously at the given pipeline depth.
+func BenchmarkMonitorStream(b *testing.B) {
+	batches := benchBatches(b)
+	records, topo := benchTrace(b)
+	for _, depth := range []int{1, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				monitor, err := NewMonitor(New(), topo, monitorBenchWindow, WithPipelineDepth(depth))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := monitor.Stream(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range batches {
+					if _, err := s.Push(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(records)), "records/op")
+		})
 	}
 }

@@ -8,9 +8,17 @@
 //	llmprism analyze  -flows flows.csv -topo topo.json [-alerts-only] [-workers 8]
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
+//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
+//
+// monitor replays the flow file through the streaming engine as a
+// continuous deployment would consume it: records are windowed on an
+// event-time grid (-window wide, advancing by -hop, closing -lateness
+// after their end), pushed in -batch-sized slices, and analyzed in a
+// pipeline -depth windows deep. Each window prints its job, alert and
+// ongoing-incident summary; late records are counted, not misfiled.
 package main
 
 import (
@@ -54,6 +62,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		width      = fs.Int("width", 120, "render width in cells (timeline)")
 		bucket     = fs.Duration("bucket", time.Minute, "aggregation bucket (switches)")
 		workers    = fs.Int("workers", 0, "per-job analysis fan-out (0 = GOMAXPROCS)")
+		window     = fs.Duration("window", time.Minute, "analysis window width (monitor)")
+		hop        = fs.Duration("hop", 0, "window stride, <= window; 0 = tumbling (monitor)")
+		lateness   = fs.Duration("lateness", 5*time.Second, "allowed out-of-orderness (monitor)")
+		batch      = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
+		depth      = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +83,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		llmprism.WithSwitchBucket(*bucket),
 		llmprism.WithWorkers(*workers),
 	)
+	if cmd == "monitor" {
+		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth)
+	}
 	report, err := analyzer.AnalyzeContext(ctx, records, topo)
 	if err != nil {
 		return err
@@ -86,8 +102,76 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, viz.AlertList(report.SwitchAlerts))
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want analyze, timeline or switches)", cmd)
+		return fmt.Errorf("unknown command %q (want analyze, timeline, switches or monitor)", cmd)
 	}
+}
+
+// runMonitor replays the flow file through a streaming monitor session in
+// collection order, printing one line per completed window plus its
+// ongoing incidents.
+func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int) error {
+	opts := []llmprism.MonitorOption{
+		llmprism.WithLateness(lateness),
+		llmprism.WithPipelineDepth(depth),
+	}
+	if hop > 0 {
+		opts = append(opts, llmprism.WithHop(hop))
+	}
+	monitor, err := llmprism.NewMonitor(analyzer, topo, window, opts...)
+	if err != nil {
+		return err
+	}
+	if batch <= 0 {
+		batch = 10 * time.Second
+	}
+
+	sorted := make([]flow.Record, len(records))
+	copy(sorted, records)
+	flow.SortByStart(sorted)
+	fmt.Fprintf(stdout, "monitoring %d records: window %v, hop %v, lateness %v, pipeline depth %d\n\n",
+		len(sorted), monitor.Window(), monitor.Hop(), monitor.Lateness(), depth)
+
+	s, err := monitor.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	printReports := func(reports []*llmprism.Report) {
+		for _, r := range reports {
+			alerts := r.Alerts()
+			fmt.Fprintf(stdout, "window %d [%s..%s): %d jobs, %d alerts, %d incidents\n",
+				r.Window.Seq,
+				r.Window.Start.Format(time.TimeOnly), r.Window.End.Format(time.TimeOnly),
+				len(r.Jobs), len(alerts), len(r.Incidents))
+			for _, inc := range r.Incidents {
+				state := fmt.Sprintf("firing %d windows, first seen %s",
+					inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
+				if !inc.StillFiring {
+					state = "resolved"
+				}
+				fmt.Fprintf(stdout, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
+			}
+		}
+	}
+	for lo := 0; lo < len(sorted); {
+		cut := sorted[lo].Start.Add(batch)
+		hi := lo
+		for hi < len(sorted) && sorted[hi].Start.Before(cut) {
+			hi++
+		}
+		reports, err := s.Push(sorted[lo:hi])
+		printReports(reports)
+		if err != nil {
+			return err
+		}
+		lo = hi
+	}
+	reports, err := s.Close()
+	printReports(reports)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", s.Late())
+	return nil
 }
 
 func load(flowsPath, topoPath string) ([]flow.Record, *topology.Topology, error) {

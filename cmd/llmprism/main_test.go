@@ -120,3 +120,37 @@ func TestRunCanceled(t *testing.T) {
 		t.Error("canceled context did not abort analysis")
 	}
 }
+
+func TestRunMonitor(t *testing.T) {
+	flows, topo := writeTrace(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"monitor", "-flows", flows, "-topo", topo,
+		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-workers", "2",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "window 0 [") || !strings.Contains(got, "window 2 [") {
+		t.Errorf("monitor output missing per-window lines:\n%s", got)
+	}
+	if !strings.Contains(got, "late drops (record-window assignments): 0") {
+		t.Errorf("monitor output missing late-record summary:\n%s", got)
+	}
+}
+
+func TestRunMonitorHopped(t *testing.T) {
+	flows, topo := writeTrace(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"monitor", "-flows", flows, "-topo", topo,
+		"-window", "6s", "-hop", "3s", "-batch", "3s",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hop 3s") {
+		t.Errorf("monitor output missing hop configuration:\n%s", out.String())
+	}
+}

@@ -1,10 +1,14 @@
-// Online monitoring: the Monitor consumes the collector's flow stream in
-// consecutive windows — the paper's continuous deployment mode. A GPU
-// starts thermal throttling mid-run; the cross-step detector raises alerts
-// in the window where it happens.
+// Online monitoring: a streaming Monitor session consumes the collector's
+// flow stream — the paper's continuous deployment mode. Records append
+// into per-window columnar builders as they arrive, closed windows analyze
+// in a pipeline while newer records keep ingesting, and the job registry
+// plus incident tracker carry identity across windows: a GPU that starts
+// thermal throttling mid-run shows up as one ongoing incident with a
+// first-seen time, not an unrelated alert pile per window.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,34 +50,76 @@ func main() {
 	fmt.Printf("streaming %d records; GPU %v throttles 4x during 1:00-1:40\n\n", len(res.Records), victim)
 
 	// 40-second windows put the throttling onset mid-window, so the
-	// cross-step detector sees healthy steps first and the slowdown
-	// stands out against them.
-	monitor, err := llmprism.NewMonitor(llmprism.New(), res.Topo, 40*time.Second)
+	// cross-step detector sees healthy steps first and the slowdown stands
+	// out against them. 5 seconds of allowed lateness absorb out-of-order
+	// collector exports; two windows may analyze while newer records
+	// stream in.
+	monitor, err := llmprism.NewMonitor(llmprism.New(), res.Topo, 40*time.Second,
+		llmprism.WithLateness(5*time.Second),
+		llmprism.WithPipelineDepth(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := monitor.Stream(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Replay the trace in 5-second batches, as a collector would export it.
-	const batch = 5 * time.Second
-	window := 0
-	for at := time.Duration(0); at < 2*time.Minute; at += batch {
-		reports, err := monitor.Feed(res.Window(at, batch))
-		if err != nil {
-			log.Fatal(err)
-		}
+	show := func(reports []*llmprism.Report) {
 		for _, report := range reports {
-			window++
 			alerts := report.Alerts()
-			fmt.Printf("window %d: %d jobs, %d alerts\n", window, len(report.Jobs), len(alerts))
-			if len(alerts) > 0 {
-				fmt.Print(llmprism.RenderAlerts(alerts))
+			fmt.Printf("window %d [%s..%s): %d jobs, %d alerts\n",
+				report.Window.Seq,
+				report.Window.Start.Format(time.TimeOnly),
+				report.Window.End.Format(time.TimeOnly),
+				len(report.Jobs), len(alerts))
+			for _, job := range report.Jobs {
+				fmt.Printf("  job %d: %d GPUs\n", job.JobID, len(job.Cluster.Endpoints))
+			}
+			firing, resolved := 0, 0
+			for _, inc := range report.Incidents {
+				if inc.StillFiring {
+					firing++
+				} else {
+					resolved++
+				}
+			}
+			if len(report.Incidents) > 0 {
+				fmt.Printf("  incidents: %d firing, %d resolved\n", firing, resolved)
+			}
+			shown := 0
+			for _, inc := range report.Incidents {
+				if shown == 3 {
+					fmt.Printf("    … and %d more\n", len(report.Incidents)-shown)
+					break
+				}
+				shown++
+				if inc.StillFiring {
+					fmt.Printf("    %v firing %d windows since %s: %s\n",
+						inc.Key.Kind, inc.Windows, inc.FirstSeen.Format(time.TimeOnly), inc.Detail)
+				} else {
+					fmt.Printf("    %v resolved after %d windows\n", inc.Key.Kind, inc.Windows)
+				}
 			}
 		}
 	}
-	if report, err := monitor.Flush(); err != nil {
-		log.Fatal(err)
-	} else if report != nil {
-		window++
-		fmt.Printf("window %d (flush): %d alerts\n", window, len(report.Alerts()))
+
+	// Replay the trace in 5-second batches, as a collector would export
+	// it. Push never waits for window analysis beyond the pipeline depth;
+	// each batch returns whatever reports became ready, in window order.
+	const batch = 5 * time.Second
+	for at := time.Duration(0); at < 2*time.Minute; at += batch {
+		reports, err := stream.Push(res.Window(at, batch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(reports)
 	}
+	reports, err := stream.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(reports)
+	fmt.Printf("\nlate drops (record-window assignments): %d\n", stream.Late())
 }

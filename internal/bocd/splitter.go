@@ -37,6 +37,12 @@ type SplitConfig struct {
 	// below MergeFactor × the larger segment span — see mergeImplausible.
 	// Default 1.5.
 	MergeFactor float64
+	// Detectors, when non-nil and configured with the same BOCD settings,
+	// supplies the change-point detector via Reset-based reuse instead of a
+	// fresh allocation per call — the steady-state mode of the streaming
+	// monitor, where SplitTimes runs once per pair and rank every window.
+	// Reuse never changes results; a mismatched pool is ignored.
+	Detectors *Pool
 }
 
 func (c SplitConfig) withDefaults() SplitConfig {
@@ -120,7 +126,10 @@ func SplitTimes(times []time.Time, cfg SplitConfig) []Segment {
 		obs[i] = v
 	}
 
-	det := New(cfg.BOCD)
+	det, pooled := cfg.acquireDetector()
+	if pooled != nil {
+		defer pooled.Put(det)
+	}
 	var segments []Segment
 	lo := 0
 	for i, x := range obs {
@@ -141,6 +150,17 @@ func SplitTimes(times []time.Time, cfg SplitConfig) []Segment {
 	}
 	segments = append(segments, Segment{Lo: lo, Hi: n})
 	return mergeImplausible(times, segments, cfg.MergeFactor)
+}
+
+// acquireDetector returns the detector SplitTimes runs with and, when it
+// came from the configured pool, the pool to return it to. The pool is
+// used only when its configuration matches cfg.BOCD exactly, so pooled and
+// fresh detectors are interchangeable.
+func (c SplitConfig) acquireDetector() (*Detector, *Pool) {
+	if c.Detectors != nil && c.Detectors.cfg == c.BOCD.withDefaults() {
+		return c.Detectors.Get(), c.Detectors
+	}
+	return New(c.BOCD), nil
 }
 
 // mergeImplausible merges adjacent segments whose separating gap is not

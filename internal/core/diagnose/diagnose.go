@@ -58,8 +58,14 @@ type Alert struct {
 	Kind AlertKind
 	// Rank is set for cross-step alerts.
 	Rank flow.Addr
-	// Group indexes the job's DP group list for cross-group alerts.
+	// Group indexes the job's DP group list for cross-group alerts. The
+	// index is window-relative (groups are recomputed per window), so
+	// cross-window continuity keys on GroupAnchor instead.
 	Group int
+	// GroupAnchor is the smallest member endpoint of the DP group for
+	// cross-group alerts — a stable cross-window identity for the
+	// positional Group index.
+	GroupAnchor flow.Addr
 	// Step is the window-relative step index (cross-step, cross-group).
 	Step int
 	// Switch is set for switch-level alerts.
@@ -212,13 +218,18 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 		}
 		for i := range durs {
 			if bad, base := kSigmaOutlierLOO(durs, i, cfg.K, +1); bad {
+				var anchor flow.Addr
+				if members := groups[idx[i]]; len(members) > 0 {
+					anchor = members[0] // members are sorted ascending
+				}
 				alerts = append(alerts, Alert{
-					Kind:     AlertCrossGroup,
-					Group:    idx[i],
-					Step:     step,
-					Time:     times[i],
-					Value:    durs[i],
-					Baseline: base,
+					Kind:        AlertCrossGroup,
+					Group:       idx[i],
+					GroupAnchor: anchor,
+					Step:        step,
+					Time:        times[i],
+					Value:       durs[i],
+					Baseline:    base,
 					Detail: fmt.Sprintf("DP group %d step %d collective took %.3fs vs peer baseline %.3fs",
 						idx[i], step, durs[i], base),
 				})

@@ -1,0 +1,168 @@
+package jobrec
+
+import (
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// JobID is a stable cross-window training-job identity assigned by a
+// Registry. IDs start at 1; 0 means "not assigned" (e.g. a report produced
+// outside the monitor).
+type JobID int
+
+// RegistryConfig tunes cross-window job matching.
+type RegistryConfig struct {
+	// MatchJaccard is the minimum endpoint-set Jaccard similarity for a
+	// window's cluster to inherit a tracked job's identity. Recognition is
+	// per-window and sees only the endpoints that communicated inside the
+	// window, so the observed membership of one job fluctuates; a
+	// similarity threshold below 1 absorbs that. Default 0.5.
+	MatchJaccard float64
+	// ExpireAfter is the number of consecutive windows a tracked job may go
+	// unmatched before it is forgotten (a later reappearance gets a fresh
+	// identity). Default 8.
+	ExpireAfter int
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.MatchJaccard <= 0 || c.MatchJaccard > 1 {
+		c.MatchJaccard = 0.5
+	}
+	if c.ExpireAfter <= 0 {
+		c.ExpireAfter = 8
+	}
+	return c
+}
+
+// Registry assigns stable JobIDs to the per-window clusters the recognizer
+// emits, by matching each window's endpoint sets against the jobs tracked
+// from previous windows. It is the continuity anchor of the streaming
+// monitor: per-job state (change-point detectors, incident history) is
+// keyed by JobID rather than by cluster index, so a job keeps its identity
+// while other tenants come and go around it.
+//
+// Matching is deterministic: clusters are processed in recognition order
+// (smallest endpoint first) and each greedily claims the unclaimed tracked
+// job with the highest endpoint-set Jaccard similarity (ties broken by
+// lowest JobID). A Registry is not safe for concurrent use; the monitor
+// drives it from the in-order report emission path.
+type Registry struct {
+	cfg  RegistryConfig
+	next JobID
+	jobs []registryJob
+}
+
+type registryJob struct {
+	id        JobID
+	endpoints []flow.Addr // sorted, last observed membership
+	firstSeen time.Time
+	lastSeq   int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults()}
+}
+
+// Len returns the number of jobs currently tracked.
+func (r *Registry) Len() int { return len(r.jobs) }
+
+// FirstSeen returns the window start time at which id was first assigned,
+// or the zero time when id is unknown (expired or never assigned).
+func (r *Registry) FirstSeen(id JobID) time.Time {
+	for i := range r.jobs {
+		if r.jobs[i].id == id {
+			return r.jobs[i].firstSeen
+		}
+	}
+	return time.Time{}
+}
+
+// Assign matches one window's recognized clusters against the tracked jobs
+// and returns their JobIDs, parallel to clusters. seq is the window's
+// emission index (strictly increasing across calls) and at its start time;
+// both feed the expiry clock and first-seen bookkeeping. Matched jobs have
+// their endpoint sets refreshed to the window's observation; unmatched
+// clusters open new jobs; tracked jobs unmatched for ExpireAfter windows
+// are dropped.
+func (r *Registry) Assign(seq int, at time.Time, clusters []Cluster) []JobID {
+	ids := make([]JobID, len(clusters))
+	claimed := make([]bool, len(r.jobs))
+	for ci, c := range clusters {
+		best, bestSim := -1, 0.0
+		for ji := range r.jobs {
+			if claimed[ji] {
+				continue
+			}
+			// r.jobs is ascending by id (append order, order-preserving
+			// expiry), so strict > keeps the lowest id on similarity ties.
+			if sim := sortedJaccard(c.Endpoints, r.jobs[ji].endpoints); sim > bestSim {
+				best, bestSim = ji, sim
+			}
+		}
+		if best >= 0 && bestSim >= r.cfg.MatchJaccard {
+			claimed[best] = true
+			j := &r.jobs[best]
+			j.endpoints = append(j.endpoints[:0], c.Endpoints...)
+			j.lastSeq = seq
+			ids[ci] = j.id
+			continue
+		}
+		r.next++
+		r.jobs = append(r.jobs, registryJob{
+			id:        r.next,
+			endpoints: append([]flow.Addr(nil), c.Endpoints...),
+			firstSeen: at,
+			lastSeq:   seq,
+		})
+		claimed = append(claimed, true)
+		ids[ci] = r.next
+	}
+	// Expire jobs that have gone unmatched too long.
+	kept := r.jobs[:0]
+	for _, j := range r.jobs {
+		if seq-j.lastSeq < r.cfg.ExpireAfter {
+			kept = append(kept, j)
+		}
+	}
+	r.jobs = kept
+	return ids
+}
+
+// TrackedIDs returns the ids of all tracked jobs, ascending.
+func (r *Registry) TrackedIDs() []JobID {
+	out := make([]JobID, 0, len(r.jobs))
+	for i := range r.jobs {
+		out = append(out, r.jobs[i].id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedJaccard is the Jaccard similarity of two ascending-sorted,
+// duplicate-free endpoint slices, computed with a linear merge (the
+// recognizer sorts and dedups cluster endpoints, and the registry stores
+// them that way).
+func sortedJaccard(a, b []flow.Addr) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,103 @@
+package jobrec
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+func cl(endpoints ...flow.Addr) Cluster {
+	return Cluster{Endpoints: endpoints}
+}
+
+func TestRegistryStableIdentity(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	at := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	ids := r.Assign(0, at, []Cluster{cl(1, 2, 3, 4), cl(10, 11, 12)})
+	if !reflect.DeepEqual(ids, []JobID{1, 2}) {
+		t.Fatalf("window 0 ids = %v, want [1 2]", ids)
+	}
+	// Same jobs, one with a fluctuating membership (3 of 4 endpoints seen).
+	ids = r.Assign(1, at.Add(time.Minute), []Cluster{cl(1, 2, 4), cl(10, 11, 12)})
+	if !reflect.DeepEqual(ids, []JobID{1, 2}) {
+		t.Errorf("window 1 ids = %v, want [1 2] (fluctuating membership kept identity)", ids)
+	}
+	// A disjoint newcomer gets a fresh id; the firsts persist.
+	ids = r.Assign(2, at.Add(2*time.Minute), []Cluster{cl(1, 2, 3, 4), cl(20, 21), cl(10, 11, 12)})
+	if !reflect.DeepEqual(ids, []JobID{1, 3, 2}) {
+		t.Errorf("window 2 ids = %v, want [1 3 2]", ids)
+	}
+	if got := r.FirstSeen(1); !got.Equal(at) {
+		t.Errorf("FirstSeen(1) = %v, want %v", got, at)
+	}
+}
+
+func TestRegistryExpiry(t *testing.T) {
+	r := NewRegistry(RegistryConfig{ExpireAfter: 2})
+	at := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+	ids := r.Assign(0, at, []Cluster{cl(1, 2)})
+	if ids[0] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Two empty windows expire the job; its reappearance is a new job.
+	r.Assign(1, at, nil)
+	r.Assign(2, at, nil)
+	if r.Len() != 0 {
+		t.Fatalf("tracked jobs = %d, want 0 after expiry", r.Len())
+	}
+	ids = r.Assign(3, at, []Cluster{cl(1, 2)})
+	if ids[0] != 2 {
+		t.Errorf("reappeared job id = %v, want fresh id 2", ids[0])
+	}
+}
+
+func TestRegistryBelowThresholdIsNewJob(t *testing.T) {
+	r := NewRegistry(RegistryConfig{MatchJaccard: 0.5})
+	at := time.Now()
+	r.Assign(0, at, []Cluster{cl(1, 2, 3, 4)})
+	// Jaccard 1/7 < 0.5: treated as a different job.
+	ids := r.Assign(1, at, []Cluster{cl(4, 5, 6, 7)})
+	if ids[0] != 2 {
+		t.Errorf("dissimilar cluster id = %v, want 2", ids[0])
+	}
+}
+
+func TestRegistryDeterministicTieBreak(t *testing.T) {
+	// Two tracked jobs, one window cluster equally similar to both: the
+	// lowest JobID wins, every time.
+	for i := 0; i < 5; i++ {
+		r := NewRegistry(RegistryConfig{MatchJaccard: 0.4})
+		at := time.Now()
+		r.Assign(0, at, []Cluster{cl(1, 2), cl(3, 4)})
+		ids := r.Assign(1, at, []Cluster{cl(1, 3)}) // Jaccard 1/3 with both... below threshold
+		if ids[0] != 3 {
+			t.Fatalf("ids = %v, want [3] (similarity below threshold)", ids)
+		}
+		r2 := NewRegistry(RegistryConfig{MatchJaccard: 0.3})
+		r2.Assign(0, at, []Cluster{cl(1, 2), cl(3, 4)})
+		ids = r2.Assign(1, at, []Cluster{cl(1, 3)})
+		if ids[0] != 1 {
+			t.Fatalf("tie ids = %v, want [1] (lowest id wins)", ids)
+		}
+	}
+}
+
+func TestSortedJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []flow.Addr
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]flow.Addr{1}, nil, 0},
+		{[]flow.Addr{1, 2, 3}, []flow.Addr{1, 2, 3}, 1},
+		{[]flow.Addr{1, 2, 3, 4}, []flow.Addr{3, 4, 5, 6}, 1.0 / 3},
+	}
+	for _, c := range cases {
+		if got := sortedJaccard(c.a, c.b); got != c.want {
+			t.Errorf("sortedJaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

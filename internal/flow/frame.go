@@ -116,6 +116,21 @@ func (b *FrameBuilder) AppendRecord(r Record) {
 	b.Append(r.ID, r.Start, r.Duration, r.Src, r.Dst, r.Bytes, b.InternPath(r.Switches))
 }
 
+// RecordAt materializes row i in append order (rows are not sorted until
+// Build). The Switches slice aliases the builder's interned path table and
+// must be treated as read-only.
+func (b *FrameBuilder) RecordAt(i int) Record {
+	return Record{
+		ID:       b.ids[i],
+		Start:    time.Unix(0, b.starts[i]).UTC(),
+		Duration: time.Duration(b.durs[i]),
+		Src:      b.srcs[i],
+		Dst:      b.dsts[i],
+		Bytes:    b.nbytes[i],
+		Switches: b.table.Path(b.paths[i]),
+	}
+}
+
 // Build freezes the accumulated rows into a Frame. The builder remains
 // usable; paths interned so far keep their ids, and rows appended later
 // appear only in subsequently built frames.

@@ -1,0 +1,387 @@
+// Package stream implements the incremental, watermark-driven windowing
+// engine behind the streaming monitor.
+//
+// The batch monitor it replaces buffered every raw record, re-sorted the
+// whole buffer on each feed, and rebuilt each window's columnar frame from
+// scratch — per-feed cost grew with the buffered history. The engine
+// instead routes each record, as it arrives, into the flow.FrameBuilder of
+// every open window it belongs to (out-of-order arrivals included), so
+// ingest is append-plus-intern per record and the one O(n log n) sort a
+// window ever pays happens once, inside FrameBuilder.Build, when the
+// window closes.
+//
+// # Windowing and watermarks
+//
+// Windows live on a grid anchored at the earliest record of the first
+// push: window k covers [anchor + k·Hop, anchor + k·Hop + Width), with k
+// extending below zero while nothing has been emitted yet, so stragglers
+// older than the anchor still land in correctly-bounded windows. Hop ==
+// Width gives tumbling windows; Hop < Width overlapping ones, in which
+// case a record belongs to every window covering its start time. The
+// event-time watermark is the largest start time observed minus the
+// allowed Lateness; a window closes when the watermark passes its end, so
+// records up to Lateness out of order still land in the right window.
+// Records arriving for an already-closed window are dropped and counted
+// (Late) instead of being silently misfiled into a newer window — the
+// failure mode of the batch path. Windows that close without records are
+// still emitted (with an empty frame), so emission index and wall-clock
+// grid stay aligned.
+//
+// # Pipelined analysis
+//
+// Closed windows are handed to the analyze callback on their own
+// goroutines, at most MaxInFlight at a time (Push blocks beyond that,
+// providing backpressure), so window k+1 ingests while window k analyzes.
+// Results are released strictly in window order regardless of completion
+// order. Determinism discipline: a frame built from a record multiset is
+// independent of arrival order, window analyses share no mutable state,
+// and in-order release means any cross-window folding the caller does sees
+// windows in the same order a serial loop would — so pipelined results are
+// bit-identical to serial ones.
+package stream
+
+import (
+	"context"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Width is the window width. Required (> 0).
+	Width time.Duration
+	// Hop is the window stride. 0 defaults to Width (tumbling); Hop must
+	// not exceed Width (larger hops would drop records between windows).
+	Hop time.Duration
+	// Lateness is the allowed out-of-orderness: a window [s, s+Width)
+	// closes once a record at or past s+Width+Lateness is observed.
+	Lateness time.Duration
+	// MaxInFlight bounds concurrently analyzing windows. 0 defaults to 1
+	// (no pipelining).
+	MaxInFlight int
+	// MaxEmptyRun bounds the number of consecutive empty windows emitted
+	// for one event-time gap; a longer run is skipped in one jump and
+	// counted by Skipped, so a single corrupt far-future timestamp cannot
+	// stall the engine emitting one empty window per grid slot across the
+	// gap. 0 defaults to DefaultMaxEmptyRun.
+	MaxEmptyRun int
+}
+
+// DefaultMaxEmptyRun is the default bound on consecutive empty windows
+// emitted across an event-time gap — generous for real collection pauses,
+// small enough that a corrupt timestamp decades ahead costs one jump.
+const DefaultMaxEmptyRun = 1024
+
+func (c Config) withDefaults() Config {
+	if c.Hop <= 0 {
+		c.Hop = c.Width
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1
+	}
+	if c.MaxEmptyRun <= 0 {
+		c.MaxEmptyRun = DefaultMaxEmptyRun
+	}
+	return c
+}
+
+// Window locates one emitted window.
+type Window struct {
+	// Seq is the 0-based emission index; windows are emitted in strictly
+	// increasing Seq order with no gaps.
+	Seq int
+	// Start and End bound the window: records with Start in [Start, End).
+	Start, End time.Time
+}
+
+// Result is the outcome of analyzing one window.
+type Result[R any] struct {
+	Window Window
+	// Rows is the number of records the window held (0 for an empty
+	// window, which is still emitted).
+	Rows  int
+	Value R
+	Err   error
+}
+
+// Engine is the streaming ingest-and-analyze loop. Construct with New.
+// Feed it from one goroutine; the analyze callback runs on engine-owned
+// goroutines and must be safe to run concurrently with itself (window
+// analyses share no frame).
+type Engine[R any] struct {
+	cfg     Config
+	analyze func(ctx context.Context, w Window, f *flow.Frame) (R, error)
+
+	anchored bool
+	anchor   int64 // grid origin, UnixNano of the first push's earliest record
+	maxEvent int64 // largest record start observed, UnixNano
+	// nextK is the smallest grid index not yet emitted. Until the first
+	// dispatch (started == false) it tracks the smallest index opened so
+	// far — which may go negative while within-lateness stragglers older
+	// than the anchor arrive; afterwards it only advances, and records for
+	// indices below it are late.
+	nextK   int64
+	haveK   bool
+	started bool
+	seq     int
+	open    map[int64]*openWindow
+	late    uint64
+	skipped uint64
+	pending int
+
+	sem      chan struct{}
+	inflight []chan Result[R]
+}
+
+type openWindow struct {
+	b    *flow.FrameBuilder
+	rows int
+}
+
+// New returns an engine that hands every closed window's frame to analyze.
+// cfg.Width must be positive and cfg.Hop at most cfg.Width; New panics
+// otherwise (the public monitor layer validates user input).
+func New[R any](cfg Config, analyze func(ctx context.Context, w Window, f *flow.Frame) (R, error)) *Engine[R] {
+	cfg = cfg.withDefaults()
+	if cfg.Width <= 0 {
+		panic("stream: non-positive window width")
+	}
+	if cfg.Hop > cfg.Width {
+		panic("stream: hop exceeds window width")
+	}
+	return &Engine[R]{
+		cfg:     cfg,
+		analyze: analyze,
+		open:    make(map[int64]*openWindow),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Late returns the number of dropped record-to-window assignments: each
+// record that arrived after one of its windows had already closed counts
+// once per missed window (with overlapping windows a record can be late
+// for one window and on time for the next).
+func (e *Engine[R]) Late() uint64 { return e.late }
+
+// Pending returns the number of record-to-window assignments buffered in
+// open windows.
+func (e *Engine[R]) Pending() int { return e.pending }
+
+// Skipped returns the number of empty grid slots jumped over because their
+// run exceeded MaxEmptyRun.
+func (e *Engine[R]) Skipped() uint64 { return e.skipped }
+
+// InFlight returns the number of windows dispatched but not yet collected.
+func (e *Engine[R]) InFlight() int { return len(e.inflight) }
+
+// Watermark returns the current event-time watermark (zero before the
+// first record).
+func (e *Engine[R]) Watermark() time.Time {
+	if !e.anchored {
+		return time.Time{}
+	}
+	return time.Unix(0, e.maxEvent-int64(e.cfg.Lateness)).UTC()
+}
+
+// Push ingests one batch of records (any order) and dispatches every
+// window the advanced watermark closes. It blocks only when more than
+// MaxInFlight windows would be analyzing at once; ctx bounds that wait and
+// the dispatched analyses. Completed results are collected with Ready (or
+// Flush), not returned here.
+func (e *Engine[R]) Push(ctx context.Context, records []flow.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	if !e.anchored {
+		min := records[0].Start
+		for _, r := range records[1:] {
+			if r.Start.Before(min) {
+				min = r.Start
+			}
+		}
+		e.anchor = min.UnixNano()
+		e.maxEvent = e.anchor
+		e.anchored = true
+	}
+	for i := range records {
+		e.ingest(&records[i])
+	}
+	// Close windows only after the whole batch landed, so records within
+	// one push never race their own batch's watermark.
+	if !e.haveK {
+		return nil
+	}
+	wm := e.maxEvent - int64(e.cfg.Lateness)
+	kMax := FloorDiv(wm-e.anchor-int64(e.cfg.Width), int64(e.cfg.Hop))
+	for e.nextK <= kMax {
+		e.skipEmptyRun(kMax)
+		if e.nextK > kMax {
+			break
+		}
+		if err := e.dispatch(ctx, e.nextK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipEmptyRun jumps nextK over a run of empty grid slots longer than
+// MaxEmptyRun, landing on the next open window (or just past kMax). Short
+// runs are left alone — they emit one empty window per slot, keeping
+// emission aligned with wall clock across ordinary collection gaps.
+func (e *Engine[R]) skipEmptyRun(kMax int64) {
+	if e.open[e.nextK] != nil {
+		return
+	}
+	next := kMax + 1
+	for k := range e.open {
+		if k >= e.nextK && k < next {
+			next = k
+		}
+	}
+	if run := next - e.nextK; run > int64(e.cfg.MaxEmptyRun) {
+		e.skipped += uint64(run)
+		e.nextK = next
+	}
+}
+
+func (e *Engine[R]) windowStart(k int64) int64 { return e.anchor + k*int64(e.cfg.Hop) }
+func (e *Engine[R]) windowEnd(k int64) int64   { return e.windowStart(k) + int64(e.cfg.Width) }
+
+// ingest routes one record to every open window covering its start time.
+// The grid extends below the anchor (negative k) while nothing has been
+// emitted yet, so within-lateness stragglers older than the first push's
+// minimum still land in their own correctly-bounded windows.
+func (e *Engine[R]) ingest(r *flow.Record) {
+	t := r.Start.UnixNano()
+	if t > e.maxEvent {
+		e.maxEvent = t
+	}
+	d := t - e.anchor
+	hop, width := int64(e.cfg.Hop), int64(e.cfg.Width)
+	kHi := FloorDiv(d, hop)
+	kLo := FloorDiv(d-width, hop) + 1
+	for k := kLo; k <= kHi; k++ {
+		if e.haveK && k < e.nextK {
+			if e.started {
+				e.late++
+				continue
+			}
+			e.nextK = k // emission not begun: the grid extends backwards
+		}
+		if !e.haveK {
+			e.nextK = k
+			e.haveK = true
+		}
+		w := e.open[k]
+		if w == nil {
+			w = &openWindow{b: flow.NewFrameBuilder()}
+			e.open[k] = w
+		}
+		w.b.AppendRecord(*r)
+		w.rows++
+		e.pending++
+	}
+}
+
+// dispatch closes window k (possibly empty) and hands it to an analysis
+// goroutine, blocking while MaxInFlight analyses are already running.
+func (e *Engine[R]) dispatch(ctx context.Context, k int64) error {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	w := e.open[k]
+	delete(e.open, k)
+	win := Window{
+		Seq:   e.seq,
+		Start: time.Unix(0, e.windowStart(k)).UTC(),
+		End:   time.Unix(0, e.windowEnd(k)).UTC(),
+	}
+	e.seq++
+	e.nextK = k + 1
+	e.started = true
+	var b *flow.FrameBuilder
+	rows := 0
+	if w != nil {
+		b, rows = w.b, w.rows
+		e.pending -= rows
+	}
+	ch := make(chan Result[R], 1)
+	e.inflight = append(e.inflight, ch)
+	go func() {
+		defer func() { <-e.sem }()
+		var f *flow.Frame
+		if b != nil {
+			f = b.Build()
+		} else {
+			f = flow.NewFrame(nil)
+		}
+		v, err := e.analyze(ctx, win, f)
+		ch <- Result[R]{Window: win, Rows: rows, Value: v, Err: err}
+	}()
+	return nil
+}
+
+// Ready returns, without blocking, every completed result that is next in
+// window order. A finished window is withheld while an earlier one is
+// still analyzing, so results never arrive out of order.
+func (e *Engine[R]) Ready() []Result[R] {
+	var out []Result[R]
+	for len(e.inflight) > 0 {
+		select {
+		case res := <-e.inflight[0]:
+			out = append(out, res)
+			e.inflight = e.inflight[1:]
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Flush closes every remaining open window — including empty grid slots
+// between them, keeping emission aligned with the grid — waits for all
+// in-flight analyses, and returns their results in window order. The
+// engine is drained afterwards; it can keep ingesting (the grid and
+// watermark persist).
+func (e *Engine[R]) Flush(ctx context.Context) ([]Result[R], error) {
+	var dispatchErr error
+	if e.haveK {
+		maxK := e.nextK - 1
+		for k := range e.open {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		for e.nextK <= maxK {
+			e.skipEmptyRun(maxK)
+			if e.nextK > maxK {
+				break
+			}
+			if err := e.dispatch(ctx, e.nextK); err != nil {
+				dispatchErr = err
+				break
+			}
+		}
+	}
+	out := make([]Result[R], 0, len(e.inflight))
+	for _, ch := range e.inflight {
+		out = append(out, <-ch)
+	}
+	e.inflight = nil
+	return out, dispatchErr
+}
+
+// FloorDiv is integer division rounding toward negative infinity — the
+// grid-index arithmetic both the engine and the Monitor's Feed-path mirror
+// share.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -40,10 +40,31 @@
 // order; the switch-level series is assembled from per-job partial
 // aggregations merged in that same order. The report is therefore
 // bit-identical for any worker count — and for the frame-free record-slice
-// pipeline — including the sequential WithWorkers(1) form. Monitor windows
-// analyzed via FeedContext build one frame per window and flow through the
-// same pool. The cmd/llmprism and cmd/repro CLIs expose the knob as
-// -workers.
+// pipeline — including the sequential WithWorkers(1) form. The
+// cmd/llmprism and cmd/repro CLIs expose the knob as -workers.
+//
+// # Streaming monitor
+//
+// Monitor runs the pipeline continuously, the paper's deployment mode.
+// Records are windowed on an event-time grid (width, hop, allowed
+// lateness — see WithHop and WithLateness); a window closes when the
+// watermark (newest record start minus lateness) passes its end, and
+// empty completed windows still yield bounds-carrying reports so window
+// sequence numbers line up with wall clock. Two ingestion paths exist:
+// the synchronous Feed loop (batch-sorts and merges into one buffer, one
+// frame per completed window), and Monitor.Stream, whose per-window
+// columnar builders ingest records incrementally — including out-of-order
+// arrivals within the lateness bound — and whose closed windows analyze
+// asynchronously (WithPipelineDepth) while newer records keep ingesting.
+// Reports are released strictly in window order and are bit-identical to
+// the Feed loop's for the same in-order stream; records later than the
+// lateness bound are dropped and counted rather than misfiled. Across
+// windows, a job registry stamps stable JobIDs by endpoint-set matching,
+// change-point detectors are reused via Reset instead of rebuilt, and
+// Report.Incidents tracks each anomaly's first-seen/still-firing state so
+// a persistent fault is one ongoing incident, not one alert pile per
+// window. The cmd/llmprism CLI exposes this as the monitor subcommand
+// (-window, -hop, -lateness).
 package llmprism
 
 import (
@@ -123,6 +144,10 @@ func New(opts ...Option) *Analyzer {
 
 // JobReport is the analysis of one recognized training job.
 type JobReport struct {
+	// JobID is the stable cross-window identity the monitor's job registry
+	// assigned by matching this window's endpoint set against previous
+	// windows. It is 0 on reports produced outside the monitor.
+	JobID jobrec.JobID
 	// Cluster is the recognized job: endpoints and servers.
 	Cluster jobrec.Cluster
 	// Records are the job's flow records (sorted by start time). They are
@@ -146,6 +171,12 @@ type JobReport struct {
 
 // Report is the full analysis of one flow window.
 type Report struct {
+	// Window locates the report on the monitor's window grid; it is the
+	// zero value on reports produced by Analyze/AnalyzeFrame directly. A
+	// completed window that held no records still yields a report — empty
+	// but for these bounds — so window sequence numbers stay aligned with
+	// wall-clock windows.
+	Window WindowInfo
 	// Jobs holds per-job analyses, ordered by smallest endpoint.
 	Jobs []JobReport
 	// SwitchSeries aggregates per-switch DP bandwidth/flow-count series
@@ -153,16 +184,28 @@ type Report struct {
 	SwitchSeries map[flow.SwitchID][]diagnose.SwitchPoint
 	// SwitchAlerts holds switch-level diagnosis results.
 	SwitchAlerts []diagnose.Alert
+	// Incidents is the monitor's cross-window continuity view of this
+	// window's alerts: one entry per ongoing anomaly (with first-seen time
+	// and windows-firing count) plus one final entry for each anomaly that
+	// just stopped firing. Nil outside the monitor.
+	Incidents []diagnose.Incident
 }
 
-// Alerts returns every alert in the report (job-scoped then switch-level).
+// Alerts returns every alert in the report (job-scoped then switch-level),
+// nil when there are none.
 func (r *Report) Alerts() []diagnose.Alert {
-	var out []diagnose.Alert
+	n := len(r.SwitchAlerts)
+	for _, j := range r.Jobs {
+		n += len(j.Alerts)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]diagnose.Alert, 0, n)
 	for _, j := range r.Jobs {
 		out = append(out, j.Alerts...)
 	}
-	out = append(out, r.SwitchAlerts...)
-	return out
+	return append(out, r.SwitchAlerts...)
 }
 
 // Analyze runs the full pipeline over one window of flow records. mapper

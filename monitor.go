@@ -3,33 +3,126 @@ package llmprism
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
+	"github.com/llmprism/llmprism/internal/bocd"
+	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
 	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stream"
 )
+
+// WindowInfo locates a monitor report on the window grid: window Seq
+// covers records whose start time falls in [Start, End). It is the zero
+// value on reports produced by Analyze/AnalyzeFrame directly.
+type WindowInfo struct {
+	Seq        int
+	Start, End time.Time
+}
 
 // Monitor performs continuous windowed analysis over an incoming flow
 // record stream, the deployment mode of the paper: the collector feeds
-// records as they are exported, and every completed window is analyzed
-// independently, yielding reports (and their alerts) in order.
+// records as they are exported and every completed window is analyzed,
+// yielding reports (and their alerts) in window order. Windows are cut on
+// a grid anchored at the first record: width Window() wide, advancing by
+// the hop (WithHop; default tumbling), closing once the event-time
+// watermark — newest record start minus the allowed lateness
+// (WithLateness) — passes their end. Completed windows that held no
+// records still yield an (empty) report carrying their bounds, so report
+// sequence numbers line up with wall-clock windows.
 //
-// Monitor is not safe for concurrent use; feed it from one goroutine. Each
-// completed window is loaded once into a columnar flow.Frame and analyzed
-// through the analyzer's worker pool (see WithWorkers), so per-window
-// latency shrinks with cores while reports stay bit-identical to a
-// sequential analyzer's.
+// Two ingestion paths share the same analysis, window grid and continuity
+// state:
+//
+//   - Feed/FeedContext buffer records and analyze each completed window
+//     synchronously before returning — the historical, and simplest, mode.
+//     It requires tumbling windows (hop == width).
+//   - Stream opens a pipelined session: records append into per-window
+//     columnar builders as they arrive, closed windows are analyzed
+//     asynchronously on the analyzer's worker pool while newer records
+//     keep ingesting, and reports come back strictly in window order,
+//     bit-identical to what the Feed loop produces for the same in-order
+//     record stream. Records later than the allowed lateness are dropped
+//     and counted instead of misfiled.
+//
+// Reports gain cross-window continuity: a job registry matches each
+// window's recognized endpoint sets against previous windows and stamps
+// stable JobReport.JobID values, per-job change-point detectors are reused
+// across windows via Reset (never rebuilt), and Report.Incidents carries
+// first-seen/still-firing state per anomaly so a persistently slow rank is
+// one ongoing incident rather than one alert pile per window.
+//
+// Monitor is not safe for concurrent use; feed it from one goroutine, and
+// use either the Feed loop or one Stream session — not both — per
+// Monitor.
 type Monitor struct {
 	analyzer *Analyzer
 	mapper   jobrec.ServerMapper
+	cfg      monitorConfig
+
+	// Legacy feed path state: buffer sorted by (start, id); next is the
+	// start of the next grid window to emit (zero until the first record
+	// anchors the grid).
+	buf  []flow.Record
+	next time.Time
+
+	// Continuity state shared by both ingestion paths, driven strictly in
+	// window order.
+	seq       int
+	registry  *jobrec.Registry
+	incidents *diagnose.IncidentTracker
+
+	streaming bool
+}
+
+type monitorConfig struct {
 	window   time.Duration
-	buf      []flow.Record
-	start    time.Time // current window start (zero until first record)
+	hop      time.Duration
+	lateness time.Duration
+	depth    int
+	registry jobrec.RegistryConfig
+}
+
+// MonitorOption customizes a Monitor.
+type MonitorOption func(*monitorConfig)
+
+// WithHop sets the window stride. The default equals the window width
+// (tumbling windows); a smaller hop yields overlapping windows — a record
+// then belongs to every window covering its start time, including the
+// leading partial phase windows that begin before the first record — and
+// only the Stream path supports them.
+func WithHop(d time.Duration) MonitorOption {
+	return func(c *monitorConfig) { c.hop = d }
+}
+
+// WithLateness sets the allowed out-of-orderness: a window closes only
+// once a record this much past its end has been seen, so records up to the
+// lateness bound out of order still land in the right window. Stream drops
+// (and counts) records later than the bound; the Feed path, which buffers,
+// misfiles them into the oldest open window. Default 0.
+func WithLateness(d time.Duration) MonitorOption {
+	return func(c *monitorConfig) { c.lateness = d }
+}
+
+// WithPipelineDepth bounds how many closed windows a Stream session
+// analyzes concurrently; ingestion continues while they run. 1 disables
+// pipelining; the default is 2 (window k+1 ingests while k analyzes).
+func WithPipelineDepth(n int) MonitorOption {
+	return func(c *monitorConfig) { c.depth = n }
+}
+
+// WithJobRegistry tunes cross-window job identity matching.
+func WithJobRegistry(cfg jobrec.RegistryConfig) MonitorOption {
+	return func(c *monitorConfig) { c.registry = cfg }
 }
 
 // NewMonitor returns a Monitor that analyzes consecutive windows of the
-// given width (default 1 minute, the paper's operating point).
-func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Duration) (*Monitor, error) {
+// given width (default 1 minute, the paper's operating point). The
+// analyzer's change-point detectors are pooled across the monitor's
+// windows — reused via Reset instead of rebuilt — which never changes
+// results.
+func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Duration, opts ...MonitorOption) (*Monitor, error) {
 	if analyzer == nil {
 		return nil, fmt.Errorf("llmprism: nil analyzer")
 	}
@@ -39,77 +132,363 @@ func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Dura
 	if window <= 0 {
 		window = time.Minute
 	}
-	return &Monitor{analyzer: analyzer, mapper: mapper, window: window}, nil
+	cfg := monitorConfig{window: window, hop: window, depth: 2}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.hop <= 0 {
+		cfg.hop = window
+	}
+	if cfg.hop > cfg.window {
+		return nil, fmt.Errorf("llmprism: hop %v exceeds window %v", cfg.hop, cfg.window)
+	}
+	if cfg.lateness < 0 {
+		return nil, fmt.Errorf("llmprism: negative lateness %v", cfg.lateness)
+	}
+	if cfg.depth <= 0 {
+		cfg.depth = 2
+	}
+	// Private analyzer copy with pooled detectors: every window's
+	// SplitTimes passes draw Reset detectors from these pools instead of
+	// allocating fresh ones.
+	acfg := analyzer.cfg
+	acfg.Parallel.Split.Detectors = bocd.NewPool(acfg.Parallel.Split.BOCD)
+	acfg.Timeline.Split.Detectors = bocd.NewPool(acfg.Timeline.Split.BOCD)
+	return &Monitor{
+		analyzer:  &Analyzer{cfg: acfg},
+		mapper:    mapper,
+		cfg:       cfg,
+		registry:  jobrec.NewRegistry(cfg.registry),
+		incidents: diagnose.NewIncidentTracker(),
+	}, nil
 }
 
 // Window returns the monitor's window width.
-func (m *Monitor) Window() time.Duration { return m.window }
+func (m *Monitor) Window() time.Duration { return m.cfg.window }
 
-// Pending returns the number of buffered records awaiting a full window.
+// Hop returns the monitor's window stride.
+func (m *Monitor) Hop() time.Duration { return m.cfg.hop }
+
+// Lateness returns the monitor's allowed out-of-orderness.
+func (m *Monitor) Lateness() time.Duration { return m.cfg.lateness }
+
+// Pending returns the number of records buffered by the Feed path.
 func (m *Monitor) Pending() int { return len(m.buf) }
 
 // Feed ingests records (in roughly chronological order) and analyzes every
 // window that the newest record closes. It returns one report per
-// completed window, oldest first. Feed is FeedContext with a background
-// context.
+// completed window, oldest first — including empty windows, which carry
+// their bounds but no jobs. Feed is FeedContext with a background context.
 func (m *Monitor) Feed(records []FlowRecord) ([]*Report, error) {
 	return m.FeedContext(context.Background(), records)
 }
 
 // FeedContext is Feed with cancellation: each completed window is analyzed
-// through the analyzer's worker pool via AnalyzeContext, and a canceled ctx
-// stops between (and inside) windows, returning the reports completed so
-// far alongside the error. Records of windows already analyzed are
-// consumed; the interrupted window's records stay buffered.
+// through the analyzer's worker pool via AnalyzeContext, and a canceled
+// ctx stops between (and inside) windows, returning the reports completed
+// so far alongside the error. Records of windows already analyzed are
+// consumed; the interrupted window's records stay buffered. Only the newly
+// fed batch is sorted — it is merged into the already-sorted buffer rather
+// than re-sorting everything. FeedContext requires tumbling windows; use
+// Stream for overlapping ones.
 func (m *Monitor) FeedContext(ctx context.Context, records []FlowRecord) ([]*Report, error) {
+	if m.cfg.hop != m.cfg.window {
+		return nil, fmt.Errorf("llmprism: Feed supports only tumbling windows (hop %v != window %v); use Stream", m.cfg.hop, m.cfg.window)
+	}
+	if m.streaming {
+		return nil, fmt.Errorf("llmprism: monitor has an open Stream session; do not mix it with Feed")
+	}
 	if len(records) == 0 {
 		return nil, nil
 	}
-	m.buf = append(m.buf, records...)
-	flow.SortByStart(m.buf)
-	if m.start.IsZero() {
-		m.start = m.buf[0].Start
+	m.ingest(records)
+	if m.next.IsZero() {
+		// UTC-normalized, exactly like the stream engine's grid, so the
+		// stamped window bounds are identical on both paths whatever
+		// location the input records carry.
+		m.next = m.buf[0].Start.UTC()
 	}
 
 	var reports []*Report
 	newest := m.buf[len(m.buf)-1].Start
-	for newest.Sub(m.start) >= m.window {
-		end := m.start.Add(m.window)
-		cut := 0
-		for cut < len(m.buf) && m.buf[cut].Start.Before(end) {
-			cut++
+	for newest.Sub(m.next) >= m.cfg.window+m.cfg.lateness {
+		m.skipEmptyRun(newest)
+		if newest.Sub(m.next) < m.cfg.window+m.cfg.lateness {
+			break
 		}
-		windowRecs := m.buf[:cut]
-		if len(windowRecs) > 0 {
-			report, err := m.analyzer.AnalyzeContext(ctx, windowRecs, m.mapper)
-			if err != nil {
-				return reports, fmt.Errorf("llmprism: monitor window at %v: %w", m.start, err)
-			}
-			reports = append(reports, report)
+		report, err := m.closeWindow(ctx)
+		if err != nil {
+			return reports, fmt.Errorf("llmprism: monitor window at %v: %w", m.next, err)
 		}
-		m.buf = m.buf[cut:]
-		m.start = end
+		reports = append(reports, report)
 	}
 	return reports, nil
 }
 
-// Flush analyzes whatever partial window remains. It returns nil when no
-// records are buffered. Flush is FlushContext with a background context.
-func (m *Monitor) Flush() (*Report, error) {
+// closeWindow analyzes and consumes the buffered records of the next grid
+// window [m.next, m.next+window), advancing the grid. FeedContext and
+// FlushContext share it so the cut predicate and bounds stamping cannot
+// drift apart — the stream-engine equivalence depends on both.
+func (m *Monitor) closeWindow(ctx context.Context) (*Report, error) {
+	end := m.next.Add(m.cfg.window)
+	cut := sort.Search(len(m.buf), func(i int) bool { return !m.buf[i].Start.Before(end) })
+	report, err := m.analyzeWindow(ctx, m.buf[:cut], m.next, end)
+	if err != nil {
+		return nil, err
+	}
+	m.buf = m.buf[cut:]
+	m.next = end
+	return report, nil
+}
+
+// skipEmptyRun jumps the grid over a run of empty windows longer than
+// stream.DefaultMaxEmptyRun slots — the exact mirror of the engine's
+// guard, so a single corrupt far-future timestamp cannot make the Feed
+// path emit one empty report per grid slot across the gap, and Feed stays
+// equivalent to Stream even then. Like the engine's push-time jump, the
+// target is capped at the first window the watermark (newest − lateness)
+// cannot close yet when a newest bound is given; FlushContext passes the
+// zero time to jump all the way to the earliest buffered record's window,
+// matching the engine's Flush. Shorter runs still emit their empty
+// reports.
+func (m *Monitor) skipEmptyRun(newest time.Time) {
+	if len(m.buf) == 0 {
+		return
+	}
+	earliest := m.buf[0].Start
+	if earliest.Before(m.next) {
+		return
+	}
+	w := int64(m.cfg.window)
+	slots := stream.FloorDiv(int64(earliest.Sub(m.next)), w)
+	if !newest.IsZero() {
+		closable := stream.FloorDiv(int64(newest.Sub(m.next)-m.cfg.lateness)-w, w) + 1
+		if closable < slots {
+			slots = closable
+		}
+	}
+	if slots > stream.DefaultMaxEmptyRun {
+		m.next = m.next.Add(time.Duration(slots) * m.cfg.window)
+	}
+}
+
+// ingest merges the batch into the sorted buffer: the batch alone is
+// sorted (O(m log m)) and the two sorted runs merged in place from the
+// back (O(n+m)), replacing the historical full-buffer re-sort on every
+// feed. In-order arrival skips the merge entirely.
+func (m *Monitor) ingest(records []flow.Record) {
+	n := len(m.buf)
+	m.buf = append(m.buf, records...)
+	batch := m.buf[n:]
+	flow.SortByStart(batch)
+	if n == 0 || !recordBefore(&batch[0], &m.buf[n-1]) {
+		return
+	}
+	// Backward merge of buf[:n] and the staged batch into the grown
+	// buffer; staging keeps batch elements readable while the tail is
+	// overwritten.
+	tmp := append([]flow.Record(nil), batch...)
+	i, j := n-1, len(tmp)-1
+	for k := len(m.buf) - 1; j >= 0; k-- {
+		if i >= 0 && recordBefore(&tmp[j], &m.buf[i]) {
+			m.buf[k] = m.buf[i]
+			i--
+		} else {
+			m.buf[k] = tmp[j]
+			j--
+		}
+	}
+}
+
+// recordBefore is the (start, id) order SortByStart establishes.
+func recordBefore(a, b *flow.Record) bool {
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	return a.ID < b.ID
+}
+
+// analyzeWindow analyzes one completed window's records (possibly none)
+// and stamps window bounds plus cross-window continuity. It must be called
+// in window order.
+func (m *Monitor) analyzeWindow(ctx context.Context, recs []flow.Record, start, end time.Time) (*Report, error) {
+	var report *Report
+	if len(recs) == 0 {
+		report = &Report{}
+	} else {
+		var err error
+		report, err = m.analyzer.AnalyzeContext(ctx, recs, m.mapper)
+		if err != nil {
+			return nil, err
+		}
+	}
+	report.Window = WindowInfo{Seq: m.seq, Start: start, End: end}
+	m.seq++
+	m.annotate(report)
+	return report, nil
+}
+
+// annotate stamps cross-window continuity onto one report: stable JobIDs
+// from the registry, and the incident view of the window's alerts. Reports
+// must be annotated in window order; both ingestion paths guarantee that.
+func (m *Monitor) annotate(r *Report) {
+	clusters := make([]jobrec.Cluster, len(r.Jobs))
+	for i := range r.Jobs {
+		clusters[i] = r.Jobs[i].Cluster
+	}
+	ids := m.registry.Assign(r.Window.Seq, r.Window.Start, clusters)
+	var alerts []diagnose.JobAlert
+	for i := range r.Jobs {
+		r.Jobs[i].JobID = ids[i]
+		for _, a := range r.Jobs[i].Alerts {
+			alerts = append(alerts, diagnose.JobAlert{Job: int(ids[i]), Alert: a})
+		}
+	}
+	for _, a := range r.SwitchAlerts {
+		alerts = append(alerts, diagnose.JobAlert{Alert: a})
+	}
+	r.Incidents = m.incidents.Observe(alerts)
+}
+
+// Flush analyzes whatever remains in the Feed path's buffer, one report
+// per grid window — with a lateness bound the remainder can span several
+// windows, and each record must stay inside its window's stamped bounds.
+// It returns nil when no records are buffered. Flush is FlushContext with
+// a background context.
+func (m *Monitor) Flush() ([]*Report, error) {
 	return m.FlushContext(context.Background())
 }
 
 // FlushContext is Flush with cancellation. The buffer is consumed even on
 // error, matching Flush's historical contract.
-func (m *Monitor) FlushContext(ctx context.Context) (*Report, error) {
-	if len(m.buf) == 0 {
-		return nil, nil
+func (m *Monitor) FlushContext(ctx context.Context) ([]*Report, error) {
+	var reports []*Report
+	for len(m.buf) > 0 {
+		m.skipEmptyRun(time.Time{})
+		report, err := m.closeWindow(ctx)
+		if err != nil {
+			m.buf = nil
+			m.next = time.Time{}
+			return reports, fmt.Errorf("llmprism: monitor flush: %w", err)
+		}
+		reports = append(reports, report)
 	}
-	report, err := m.analyzer.AnalyzeContext(ctx, m.buf, m.mapper)
 	m.buf = nil
-	m.start = time.Time{}
-	if err != nil {
-		return nil, fmt.Errorf("llmprism: monitor flush: %w", err)
-	}
-	return report, nil
+	m.next = time.Time{}
+	return reports, nil
 }
+
+// Stream opens a pipelined streaming session over the monitor: records
+// append straight into per-window columnar builders, closed windows
+// analyze asynchronously (up to WithPipelineDepth at once) while newer
+// records keep ingesting, and reports are released strictly in window
+// order — bit-identical to the Feed loop's for the same in-order record
+// stream. ctx bounds every analysis started by the session. A monitor
+// supports one Stream session, which cannot be mixed with Feed: Stream
+// refuses a monitor that has Feed-buffered records or an open session,
+// and Feed refuses once a session exists.
+func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
+	if m.streaming {
+		return nil, fmt.Errorf("llmprism: monitor already has a Stream session")
+	}
+	if len(m.buf) > 0 || m.seq > 0 {
+		return nil, fmt.Errorf("llmprism: monitor has Feed state (%d buffered records, %d windows emitted); use a fresh Monitor for streaming", len(m.buf), m.seq)
+	}
+	m.streaming = true
+	eng := stream.New(stream.Config{
+		Width:       m.cfg.window,
+		Hop:         m.cfg.hop,
+		Lateness:    m.cfg.lateness,
+		MaxInFlight: m.cfg.depth,
+	}, func(ctx context.Context, _ stream.Window, f *flow.Frame) (*Report, error) {
+		if f.Len() == 0 {
+			return &Report{}, nil
+		}
+		return m.analyzer.AnalyzeFrameContext(ctx, f, m.mapper)
+	})
+	return &MonitorStream{m: m, ctx: ctx, eng: eng}, nil
+}
+
+// MonitorStream is one streaming ingestion session. Drive it from a single
+// goroutine: Push batches as the collector exports them, consume the
+// reports each Push releases, and Close at end of stream. After an error
+// the session is dead; every later call returns the same error.
+type MonitorStream struct {
+	m      *Monitor
+	ctx    context.Context
+	eng    *stream.Engine[*Report]
+	err    error
+	closed bool
+}
+
+// Push ingests one batch of records — in any order; records up to the
+// monitor's lateness out of order land in their correct windows — and
+// returns every report that became ready, in window order. A report is
+// ready once its window's analysis and those of all earlier windows have
+// finished; Push never blocks waiting for analysis except to hold the
+// pipeline-depth bound.
+func (s *MonitorStream) Push(records []FlowRecord) ([]*Report, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, fmt.Errorf("llmprism: push on a closed monitor stream")
+	}
+	if err := s.eng.Push(s.ctx, records); err != nil {
+		s.err = err
+		return nil, err
+	}
+	return s.collect(s.eng.Ready())
+}
+
+// Close flushes every remaining window — partial trailing windows
+// included — waits for in-flight analyses and returns the remaining
+// reports in window order. The session stays usable only for Late and
+// Pending afterwards.
+func (s *MonitorStream) Close() ([]*Report, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, fmt.Errorf("llmprism: monitor stream already closed")
+	}
+	s.closed = true
+	results, err := s.eng.Flush(s.ctx)
+	reports, cerr := s.collect(results)
+	if cerr != nil {
+		return reports, cerr
+	}
+	if err != nil {
+		s.err = err
+	}
+	return reports, err
+}
+
+// collect stamps bounds and continuity onto completed windows, in order.
+func (s *MonitorStream) collect(results []stream.Result[*Report]) ([]*Report, error) {
+	var reports []*Report
+	for _, res := range results {
+		if res.Err != nil {
+			s.err = fmt.Errorf("llmprism: monitor window at %v: %w", res.Window.Start, res.Err)
+			return reports, s.err
+		}
+		r := res.Value
+		r.Window = WindowInfo{Seq: res.Window.Seq, Start: res.Window.Start, End: res.Window.End}
+		s.m.seq = res.Window.Seq + 1
+		s.m.annotate(r)
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// Late returns how many record-to-window assignments were dropped because
+// they arrived past the lateness bound (the batch Feed path would have
+// misfiled them).
+func (s *MonitorStream) Late() uint64 { return s.eng.Late() }
+
+// Pending returns the number of record-to-window assignments buffered in
+// open windows.
+func (s *MonitorStream) Pending() int { return s.eng.Pending() }
+
+// Watermark returns the session's current event-time watermark.
+func (s *MonitorStream) Watermark() time.Time { return s.eng.Watermark() }

@@ -71,26 +71,44 @@ func TestMonitorWindowing(t *testing.T) {
 		t.Fatalf("Pending = %d, want 8", m.Pending())
 	}
 
-	// A record at 25s closes windows [0,10) and [10,20).
+	// A record at 25s closes windows [0,10) and [10,20). Window [10,20)
+	// holds no records but is still reported — with bounds and no jobs —
+	// so report sequence numbers line up with wall-clock windows.
 	reports, err = m.Feed([]FlowRecord{monitorRecord(100, 25*time.Second, topo)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 1 {
-		// Window [10,20) holds no records and is skipped.
-		t.Fatalf("reports = %d, want 1 (empty window skipped)", len(reports))
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (empty window reported)", len(reports))
+	}
+	epoch := monitorRecord(0, 0, topo).Start
+	for i, r := range reports {
+		want := WindowInfo{
+			Seq:   i,
+			Start: epoch.Add(time.Duration(i) * 10 * time.Second),
+			End:   epoch.Add(time.Duration(i+1) * 10 * time.Second),
+		}
+		if r.Window != want {
+			t.Errorf("report %d window = %+v, want %+v", i, r.Window, want)
+		}
+	}
+	if len(reports[1].Jobs) != 0 || reports[1].Alerts() != nil {
+		t.Error("empty window report should carry no jobs or alerts")
 	}
 	if m.Pending() != 1 {
 		t.Fatalf("Pending = %d, want 1", m.Pending())
 	}
 
-	// Flush analyzes the remainder.
-	report, err := m.Flush()
+	// Flush analyzes the remainder, one report per grid window.
+	flushed, err := m.Flush()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report == nil {
-		t.Fatal("flush returned nil report")
+	if len(flushed) != 1 {
+		t.Fatalf("flush reports = %d, want 1", len(flushed))
+	}
+	if w := flushed[0].Window; w.Seq != 2 || !w.Start.Equal(epoch.Add(20*time.Second)) {
+		t.Errorf("flush window = %+v, want seq 2 at 20s", w)
 	}
 	if m.Pending() != 0 {
 		t.Errorf("Pending after flush = %d", m.Pending())
@@ -108,10 +126,35 @@ func TestMonitorEmptyFeed(t *testing.T) {
 	}
 }
 
+func TestMonitorOptionValidation(t *testing.T) {
+	topo, err := topology.New(TopologySpec{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonitor(New(), topo, 10*time.Second, WithHop(11*time.Second)); err == nil {
+		t.Error("hop exceeding window accepted")
+	}
+	if _, err := NewMonitor(New(), topo, 10*time.Second, WithLateness(-time.Second)); err == nil {
+		t.Error("negative lateness accepted")
+	}
+	m, err := NewMonitor(New(), topo, 10*time.Second,
+		WithHop(5*time.Second), WithLateness(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hop() != 5*time.Second || m.Lateness() != 2*time.Second {
+		t.Errorf("hop/lateness = %v/%v, want 5s/2s", m.Hop(), m.Lateness())
+	}
+	// Overlapping windows require the streaming path.
+	if _, err := m.Feed([]FlowRecord{monitorRecord(1, 0, topo)}); err == nil {
+		t.Error("Feed with hop < window should refuse")
+	}
+}
+
 func TestMonitorOutOfOrderTolerated(t *testing.T) {
 	m, topo := monitorFixture(t)
 	// Slightly out-of-order arrivals within the buffer must not break
-	// windowing (the buffer is re-sorted on every feed).
+	// windowing (only the new batch is sorted, then merged).
 	batch := []FlowRecord{
 		monitorRecord(2, 3*time.Second, topo),
 		monitorRecord(1, 1*time.Second, topo),

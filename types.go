@@ -45,6 +45,10 @@ type (
 
 	// JobCluster is a recognized training job (phase 1 output).
 	JobCluster = jobrec.Cluster
+	// JobID is the monitor's stable cross-window job identity.
+	JobID = jobrec.JobID
+	// JobRegistryConfig tunes cross-window job identity matching.
+	JobRegistryConfig = jobrec.RegistryConfig
 	// PairType is an inferred communication type (phase 2 output).
 	PairType = parallel.Type
 	// Timeline is a reconstructed per-rank schedule (phase 3 output).
@@ -59,6 +63,11 @@ type (
 	AlertKind = diagnose.AlertKind
 	// SwitchPoint is one bucket of a per-switch DP bandwidth series.
 	SwitchPoint = diagnose.SwitchPoint
+	// Incident is the monitor's cross-window continuity view of one
+	// anomaly (first-seen / still-firing).
+	Incident = diagnose.Incident
+	// IncidentKey identifies one logical anomaly across windows.
+	IncidentKey = diagnose.IncidentKey
 
 	// Scenario specifies a platform simulation.
 	Scenario = platform.Scenario
