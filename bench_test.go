@@ -7,6 +7,7 @@ package llmprism
 // as custom benchmark metrics.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/experiments"
 	"github.com/llmprism/llmprism/internal/faults"
 	"github.com/llmprism/llmprism/internal/flow"
@@ -258,6 +260,119 @@ func BenchmarkAnalyzeFrame(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// --- trace persistence: binary frame archive vs text codecs ---
+
+// BenchmarkLoadTraceCSV is the text baseline the archive replaces: parse
+// the CSV trace and rebuild the columnar frame (sort + path interning) —
+// the cost every offline re-diagnosis paid before the binary format.
+func BenchmarkLoadTraceCSV(b *testing.B) {
+	records, _ := benchTrace(b)
+	var csvBuf bytes.Buffer
+	if err := flow.WriteCSV(&csvBuf, records); err != nil {
+		b.Fatal(err)
+	}
+	data := csvBuf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := flow.ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := flow.NewFrame(recs); f.Len() != len(records) {
+			b.Fatal("frame row mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(len(data)), "bytes")
+}
+
+// BenchmarkLoadTraceBinary decodes the same trace from the binary frame
+// layout: a validated column copy plus index rebuild, no parsing, no sort.
+func BenchmarkLoadTraceBinary(b *testing.B) {
+	records, _ := benchTrace(b)
+	frame := flow.NewFrame(records)
+	var binBuf bytes.Buffer
+	if _, err := frame.WriteTo(&binBuf); err != nil {
+		b.Fatal(err)
+	}
+	data := binBuf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := flow.ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Len() != len(records) {
+			b.Fatal("frame row mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(len(data)), "bytes")
+}
+
+// BenchmarkArchiveWrite measures archiving the trace as one segment —
+// the per-window persistence cost a recording monitor session adds.
+func BenchmarkArchiveWrite(b *testing.B) {
+	records, _ := benchTrace(b)
+	frame := flow.NewFrame(records)
+	from, to, _ := flow.TimeSpan(records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		aw, err := archive.NewWriter(&buf, archive.Meta{Width: time.Minute, Hop: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := aw.Append(0, from, to, frame); err != nil {
+			b.Fatal(err)
+		}
+		if err := aw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkArchiveRead measures reopening that archive and decoding its
+// frame — manifest validation plus the binary column decode.
+func BenchmarkArchiveRead(b *testing.B) {
+	records, _ := benchTrace(b)
+	frame := flow.NewFrame(records)
+	from, to, _ := flow.TimeSpan(records)
+	var buf bytes.Buffer
+	aw, err := archive.NewWriter(&buf, archive.Meta{Width: time.Minute, Hop: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := aw.Append(0, from, to, frame); err != nil {
+		b.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar, err := archive.OpenReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := ar.Frame(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Len() != len(records) {
+			b.Fatal("frame row mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(len(data)), "bytes")
 }
 
 // monitorBenchBatches slices the trace into collector-export-sized batches

@@ -9,6 +9,8 @@
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
 //	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2]
+//	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
+//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
@@ -19,6 +21,16 @@
 // after their end), pushed in -batch-sized slices, and analyzed in a
 // pipeline -depth windows deep. Each window prints its job, alert and
 // ongoing-incident summary; late records are counted, not misfiled.
+//
+// record is monitor plus persistence: every completed window's columnar
+// frame is appended to a binary trace archive alongside the printed
+// report. replay reopens such an archive — no flow file, no text parsing,
+// no re-sorting — and pushes the archived windows back through a fresh
+// monitor session on the recorded window grid, reproducing the recorded
+// session's reports bit for bit (run with the same -bucket and detector
+// settings used to record). Archives written by an unwindowed capture
+// (zero recorded width) take their window geometry from the flags
+// instead.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"time"
 
 	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/topology"
@@ -48,25 +61,26 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: llmprism <analyze|timeline|switches> [flags]")
+		return fmt.Errorf("usage: llmprism <analyze|timeline|switches|monitor|record|replay> [flags]")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		flowsPath  = fs.String("flows", "flows.csv", "flow records (CSV or .jsonl)")
-		topoPath   = fs.String("topo", "topo.json", "topology spec (JSON)")
-		alertsOnly = fs.Bool("alerts-only", false, "print only alerts (analyze)")
-		jobIdx     = fs.Int("job", 0, "job index (timeline)")
-		ranks      = fs.Int("ranks", 8, "ranks to render (timeline)")
-		width      = fs.Int("width", 120, "render width in cells (timeline)")
-		bucket     = fs.Duration("bucket", time.Minute, "aggregation bucket (switches)")
-		workers    = fs.Int("workers", 0, "per-job analysis fan-out (0 = GOMAXPROCS)")
-		window     = fs.Duration("window", time.Minute, "analysis window width (monitor)")
-		hop        = fs.Duration("hop", 0, "window stride, <= window; 0 = tumbling (monitor)")
-		lateness   = fs.Duration("lateness", 5*time.Second, "allowed out-of-orderness (monitor)")
-		batch      = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
-		depth      = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
+		flowsPath   = fs.String("flows", "flows.csv", "flow records (CSV or .jsonl)")
+		topoPath    = fs.String("topo", "topo.json", "topology spec (JSON)")
+		alertsOnly  = fs.Bool("alerts-only", false, "print only alerts (analyze)")
+		jobIdx      = fs.Int("job", 0, "job index (timeline)")
+		ranks       = fs.Int("ranks", 8, "ranks to render (timeline)")
+		width       = fs.Int("width", 120, "render width in cells (timeline)")
+		bucket      = fs.Duration("bucket", time.Minute, "aggregation bucket (switches)")
+		workers     = fs.Int("workers", 0, "per-job analysis fan-out (0 = GOMAXPROCS)")
+		window      = fs.Duration("window", time.Minute, "analysis window width (monitor)")
+		hop         = fs.Duration("hop", 0, "window stride, <= window; 0 = tumbling (monitor)")
+		lateness    = fs.Duration("lateness", 5*time.Second, "allowed out-of-orderness (monitor)")
+		batch       = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
+		depth       = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
+		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,16 +89,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	records, topo, err := load(*flowsPath, *topoPath)
-	if err != nil {
-		return err
-	}
 	analyzer := llmprism.New(
 		llmprism.WithSwitchBucket(*bucket),
 		llmprism.WithWorkers(*workers),
 	)
-	if cmd == "monitor" {
-		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth)
+	if cmd == "replay" {
+		// Replay needs no flow file: the archive is the trace.
+		topo, err := loadTopo(*topoPath)
+		if err != nil {
+			return err
+		}
+		return runReplay(ctx, stdout, *archivePath, topo, analyzer, *window, *lateness, *depth)
+	}
+
+	records, topo, err := load(*flowsPath, *topoPath)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "monitor":
+		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth, "")
+	case "record":
+		if *archivePath == "" {
+			return fmt.Errorf("record requires -archive")
+		}
+		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth, *archivePath)
 	}
 	report, err := analyzer.AnalyzeContext(ctx, records, topo)
 	if err != nil {
@@ -102,20 +131,52 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, viz.AlertList(report.SwitchAlerts))
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want analyze, timeline, switches or monitor)", cmd)
+		return fmt.Errorf("unknown command %q (want analyze, timeline, switches, monitor, record or replay)", cmd)
+	}
+}
+
+// printReports writes the per-window summary lines both the monitor and
+// replay paths emit — identical formatting, so a recorded session and its
+// replay can be compared line for line.
+func printReports(stdout io.Writer, reports []*llmprism.Report) {
+	for _, r := range reports {
+		alerts := r.Alerts()
+		fmt.Fprintf(stdout, "window %d [%s..%s): %d jobs, %d alerts, %d incidents\n",
+			r.Window.Seq,
+			r.Window.Start.Format(time.TimeOnly), r.Window.End.Format(time.TimeOnly),
+			len(r.Jobs), len(alerts), len(r.Incidents))
+		for _, inc := range r.Incidents {
+			state := fmt.Sprintf("firing %d windows, first seen %s",
+				inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
+			if !inc.StillFiring {
+				state = "resolved"
+			}
+			fmt.Fprintf(stdout, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
+		}
 	}
 }
 
 // runMonitor replays the flow file through a streaming monitor session in
 // collection order, printing one line per completed window plus its
-// ongoing incidents.
-func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int) error {
+// ongoing incidents. A non-empty archivePath (the record subcommand) also
+// persists every completed window's columnar frame to a binary trace
+// archive for later deterministic replay.
+func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int, archivePath string) error {
 	opts := []llmprism.MonitorOption{
 		llmprism.WithLateness(lateness),
 		llmprism.WithPipelineDepth(depth),
 	}
 	if hop > 0 {
 		opts = append(opts, llmprism.WithHop(hop))
+	}
+	var af *os.File
+	if archivePath != "" {
+		var err error
+		if af, err = os.Create(archivePath); err != nil {
+			return err
+		}
+		defer af.Close()
+		opts = append(opts, llmprism.WithArchive(af))
 	}
 	monitor, err := llmprism.NewMonitor(analyzer, topo, window, opts...)
 	if err != nil {
@@ -135,23 +196,7 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 	if err != nil {
 		return err
 	}
-	printReports := func(reports []*llmprism.Report) {
-		for _, r := range reports {
-			alerts := r.Alerts()
-			fmt.Fprintf(stdout, "window %d [%s..%s): %d jobs, %d alerts, %d incidents\n",
-				r.Window.Seq,
-				r.Window.Start.Format(time.TimeOnly), r.Window.End.Format(time.TimeOnly),
-				len(r.Jobs), len(alerts), len(r.Incidents))
-			for _, inc := range r.Incidents {
-				state := fmt.Sprintf("firing %d windows, first seen %s",
-					inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
-				if !inc.StillFiring {
-					state = "resolved"
-				}
-				fmt.Fprintf(stdout, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
-			}
-		}
-	}
+	windows := 0
 	for lo := 0; lo < len(sorted); {
 		cut := sorted[lo].Start.Add(batch)
 		hi := lo
@@ -159,14 +204,85 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 			hi++
 		}
 		reports, err := s.Push(sorted[lo:hi])
-		printReports(reports)
+		windows += len(reports)
+		printReports(stdout, reports)
 		if err != nil {
 			return err
 		}
 		lo = hi
 	}
 	reports, err := s.Close()
-	printReports(reports)
+	windows += len(reports)
+	printReports(stdout, reports)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", s.Late())
+	if af != nil {
+		if err := af.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "archived %d windows to %s\n", windows, archivePath)
+	}
+	return nil
+}
+
+// runReplay reopens a recorded binary trace archive and pushes its windows
+// back through a fresh monitor session on the recorded window grid,
+// reproducing the recorded reports bit for bit. Archives from unwindowed
+// captures (zero recorded width) are windowed with the flag geometry.
+func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int) error {
+	if archivePath == "" {
+		return fmt.Errorf("replay requires -archive")
+	}
+	f, err := os.Open(archivePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	ar, err := archive.OpenReader(f, st.Size())
+	if err != nil {
+		return err
+	}
+	meta := ar.Meta()
+	if meta.Width == 0 {
+		// Unwindowed capture: the flags supply the grid.
+		meta.Width, meta.Hop, meta.Lateness = window, window, lateness
+	}
+	if meta.Hop > 0 && meta.Hop < meta.Width {
+		return fmt.Errorf("replay: archive recorded overlapping windows (hop %v < width %v); records would be duplicated across windows", meta.Hop, meta.Width)
+	}
+	opts := []llmprism.MonitorOption{
+		llmprism.WithLateness(meta.Lateness),
+		llmprism.WithPipelineDepth(depth),
+	}
+	if !ar.Anchor().IsZero() {
+		opts = append(opts, llmprism.WithAnchor(ar.Anchor()))
+	}
+	monitor, err := llmprism.NewMonitor(analyzer, topo, meta.Width, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replaying %d archived windows: window %v, hop %v, lateness %v, pipeline depth %d\n\n",
+		ar.NumSegments(), monitor.Window(), monitor.Hop(), monitor.Lateness(), depth)
+
+	s, err := monitor.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	if err := ar.Replay(func(seg archive.Segment, fr *flow.Frame) error {
+		reports, err := s.Push(fr.RecordsByStart())
+		printReports(stdout, reports)
+		return err
+	}); err != nil {
+		return err
+	}
+	reports, err := s.Close()
+	printReports(stdout, reports)
 	if err != nil {
 		return err
 	}
@@ -189,16 +305,20 @@ func load(flowsPath, topoPath string) ([]flow.Record, *topology.Topology, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	tf, err := os.Open(topoPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer tf.Close()
-	topo, err := topology.ReadJSON(tf)
+	topo, err := loadTopo(topoPath)
 	if err != nil {
 		return nil, nil, err
 	}
 	return records, topo, nil
+}
+
+func loadTopo(topoPath string) (*topology.Topology, error) {
+	tf, err := os.Open(topoPath)
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	return topology.ReadJSON(tf)
 }
 
 func printAnalysis(stdout io.Writer, report *llmprism.Report, topo *topology.Topology, alertsOnly bool) error {

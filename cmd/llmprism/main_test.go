@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -137,6 +138,89 @@ func TestRunMonitor(t *testing.T) {
 	}
 	if !strings.Contains(got, "late drops (record-window assignments): 0") {
 		t.Errorf("monitor output missing late-record summary:\n%s", got)
+	}
+}
+
+// windowLines extracts the per-window report block of a monitor/record/
+// replay run — every "window N [..." line plus its indented incident lines
+// and the trailing late-drop summary — the part that must be identical
+// between a recorded session and its replay.
+func windowLines(out string) []string {
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "window ") || strings.HasPrefix(line, "  ") ||
+			strings.HasPrefix(line, "late drops") {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+// TestRunRecordReplay is the CLI acceptance gate for the archive path:
+// record persists the monitored windows, replay reopens them — no flow
+// file — and the two sessions' window reports must match line for line.
+func TestRunRecordReplay(t *testing.T) {
+	flows, topo := writeTrace(t)
+	arch := filepath.Join(filepath.Dir(flows), "trace.llpa")
+
+	var recOut strings.Builder
+	err := run(context.Background(), []string{
+		"record", "-flows", flows, "-topo", topo, "-archive", arch,
+		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-bucket", "2s",
+	}, &recOut, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(recOut.String(), "archived ") {
+		t.Errorf("record output missing archive summary:\n%s", recOut.String())
+	}
+	if _, err := os.Stat(arch); err != nil {
+		t.Fatalf("archive not written: %v", err)
+	}
+
+	var repOut strings.Builder
+	err = run(context.Background(), []string{
+		"replay", "-archive", arch, "-topo", topo, "-depth", "3", "-bucket", "2s",
+	}, &repOut, &repOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rep := windowLines(recOut.String()), windowLines(repOut.String())
+	if len(rec) == 0 {
+		t.Fatalf("record emitted no window lines:\n%s", recOut.String())
+	}
+	if !slices.Equal(rec, rep) {
+		t.Errorf("replay diverges from recorded session:\nrecord:\n%s\nreplay:\n%s",
+			strings.Join(rec, "\n"), strings.Join(rep, "\n"))
+	}
+}
+
+func TestRunRecordRequiresArchive(t *testing.T) {
+	flows, topo := writeTrace(t)
+	var out strings.Builder
+	if err := run(context.Background(), []string{
+		"record", "-flows", flows, "-topo", topo,
+	}, &out, &out); err == nil || !strings.Contains(err.Error(), "-archive") {
+		t.Errorf("record without -archive: err = %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"replay", "-topo", topo,
+	}, &out, &out); err == nil || !strings.Contains(err.Error(), "-archive") {
+		t.Errorf("replay without -archive: err = %v", err)
+	}
+}
+
+func TestRunReplayRejectsGarbage(t *testing.T) {
+	_, topo := writeTrace(t)
+	bad := filepath.Join(t.TempDir(), "bad.llpa")
+	if err := os.WriteFile(bad, []byte("not an archive at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(context.Background(), []string{
+		"replay", "-archive", bad, "-topo", topo,
+	}, &out, &out); err == nil {
+		t.Error("garbage archive accepted")
 	}
 }
 

@@ -5,12 +5,21 @@
 // plus incident tracker carry identity across windows: a GPU that starts
 // thermal throttling mid-run shows up as one ongoing incident with a
 // first-seen time, not an unrelated alert pile per window.
+//
+// The session also records itself: WithArchive persists every completed
+// window's columnar frame into a binary trace archive, and the final step
+// reopens that archive and replays it through a fresh monitor — no text
+// codec, no re-sorting — verifying the replay reproduces the live reports
+// bit for bit, the workflow an operator uses to re-diagnose a production
+// incident offline.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"reflect"
 	"time"
 
 	"github.com/llmprism/llmprism"
@@ -54,9 +63,11 @@ func main() {
 	// out against them. 5 seconds of allowed lateness absorb out-of-order
 	// collector exports; two windows may analyze while newer records
 	// stream in.
+	var trace bytes.Buffer
 	monitor, err := llmprism.NewMonitor(llmprism.New(), res.Topo, 40*time.Second,
 		llmprism.WithLateness(5*time.Second),
 		llmprism.WithPipelineDepth(2),
+		llmprism.WithArchive(&trace),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -109,17 +120,57 @@ func main() {
 	// it. Push never waits for window analysis beyond the pipeline depth;
 	// each batch returns whatever reports became ready, in window order.
 	const batch = 5 * time.Second
+	var live []*llmprism.Report
 	for at := time.Duration(0); at < 2*time.Minute; at += batch {
 		reports, err := stream.Push(res.Window(at, batch))
 		if err != nil {
 			log.Fatal(err)
 		}
 		show(reports)
+		live = append(live, reports...)
 	}
 	reports, err := stream.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
 	show(reports)
+	live = append(live, reports...)
 	fmt.Printf("\nlate drops (record-window assignments): %d\n", stream.Late())
+
+	// The session archived itself window by window; reopen the binary
+	// trace and replay it through a fresh monitor on the recorded grid.
+	// Offline re-diagnosis must reproduce the live reports exactly.
+	ar, err := llmprism.OpenTraceArchive(bytes.NewReader(trace.Bytes()), int64(trace.Len()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayMon, err := llmprism.NewMonitor(llmprism.New(), res.Topo, ar.Meta().Width,
+		llmprism.WithLateness(ar.Meta().Lateness),
+		llmprism.WithPipelineDepth(2),
+		llmprism.WithAnchor(ar.Anchor()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := replayMon.Stream(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var replayed []*llmprism.Report
+	if err := ar.Replay(func(_ llmprism.TraceArchiveSegment, f *llmprism.FlowFrame) error {
+		reports, err := replay.Push(f.RecordsByStart())
+		replayed = append(replayed, reports...)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if reports, err = replay.Close(); err != nil {
+		log.Fatal(err)
+	}
+	replayed = append(replayed, reports...)
+	if !reflect.DeepEqual(live, replayed) {
+		log.Fatal("replay diverged from the live session")
+	}
+	fmt.Printf("archived %d windows (%d bytes); replay reproduced all reports bit-for-bit\n",
+		ar.NumSegments(), trace.Len())
 }

@@ -1,0 +1,224 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func windowRecords(seed int64, n int, base time.Duration) []flow.Record {
+	rng := rand.New(rand.NewSource(seed))
+	records := make([]flow.Record, n)
+	for i := range records {
+		var switches []flow.SwitchID
+		for k := 0; k < rng.Intn(4); k++ {
+			switches = append(switches, flow.SwitchID(rng.Intn(64)))
+		}
+		records[i] = flow.Record{
+			ID:       uint64(seed)<<20 + uint64(i+1),
+			Start:    epoch.Add(base + time.Duration(rng.Int63n(int64(10*time.Second)))),
+			Duration: time.Duration(rng.Int63n(int64(time.Second))),
+			Src:      flow.Addr(rng.Intn(1 << 10)),
+			Dst:      flow.Addr(rng.Intn(1 << 10)),
+			Bytes:    rng.Int63n(1 << 30),
+			Switches: switches,
+		}
+	}
+	return records
+}
+
+// writeTestArchive builds a 4-window archive (window 2 deliberately empty)
+// and returns its bytes plus the frames written.
+func writeTestArchive(t *testing.T) ([]byte, []*flow.Frame) {
+	t.Helper()
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, Meta{Width: 10 * time.Second, Hop: 10 * time.Second, Lateness: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*flow.Frame
+	for seq := 0; seq < 4; seq++ {
+		var f *flow.Frame
+		if seq == 2 {
+			f = flow.NewFrame(nil)
+		} else {
+			f = flow.NewFrame(windowRecords(int64(seq+1), 50, time.Duration(seq)*10*time.Second))
+		}
+		start := epoch.Add(time.Duration(seq) * 10 * time.Second)
+		if err := aw.Append(seq, start, start.Add(10*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	aw.SetAnchor(epoch)
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), frames
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	ar, err := OpenReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Meta(); got.Width != 10*time.Second || got.Hop != 10*time.Second || got.Lateness != 2*time.Second {
+		t.Errorf("meta = %+v", got)
+	}
+	if !ar.Anchor().Equal(epoch) {
+		t.Errorf("anchor = %v, want %v", ar.Anchor(), epoch)
+	}
+	if ar.NumSegments() != len(frames) {
+		t.Fatalf("segments = %d, want %d", ar.NumSegments(), len(frames))
+	}
+	for i := range frames {
+		seg := ar.Segment(i)
+		if seg.Seq != i || seg.Rows != frames[i].Len() {
+			t.Errorf("segment %d = %+v, want seq %d rows %d", i, seg, i, frames[i].Len())
+		}
+		wantStart := epoch.Add(time.Duration(i) * 10 * time.Second)
+		if !seg.Start.Equal(wantStart) || !seg.End.Equal(wantStart.Add(10*time.Second)) {
+			t.Errorf("segment %d bounds = [%v, %v)", i, seg.Start, seg.End)
+		}
+		got, err := ar.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bit-identical: columns, path table and indexes all survive.
+		if !reflect.DeepEqual(frames[i], got) {
+			t.Errorf("segment %d frame differs after round trip", i)
+		}
+	}
+}
+
+func TestArchiveReplayOrder(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	ar, err := OpenReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	var rows int
+	if err := ar.Replay(func(s Segment, f *flow.Frame) error {
+		seqs = append(seqs, s.Seq)
+		rows += f.Len()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []int{0, 1, 2, 3}) {
+		t.Errorf("replay order = %v", seqs)
+	}
+	want := 0
+	for _, f := range frames {
+		want += f.Len()
+	}
+	if rows != want {
+		t.Errorf("replayed rows = %d, want %d", rows, want)
+	}
+}
+
+func TestArchiveRejectsUnclosed(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, Meta{Width: time.Second, Hop: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(0, epoch, epoch.Add(time.Second), flow.NewFrame(windowRecords(1, 10, 0))); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the manifest is missing and the archive must not open.
+	if _, err := OpenReader(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err == nil {
+		t.Error("unclosed archive opened")
+	}
+}
+
+func TestArchiveRejectsCorruption(t *testing.T) {
+	data, _ := writeTestArchive(t)
+	open := func(b []byte) error {
+		_, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+		return err
+	}
+	t.Run("bad header magic", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[0] = 'X'
+		if open(b) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("manifest bit flip", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[len(b)-trailerSize-10] ^= 0x01
+		if open(b) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if open(data[:len(data)/2]) == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("segment blob bit flip fails at Frame", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[headerSize+segHeaderSize+20] ^= 0x10
+		ar, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			t.Fatalf("manifest untouched, open should succeed: %v", err)
+		}
+		if _, err := ar.Frame(0); err == nil {
+			t.Error("corrupt segment frame decoded")
+		}
+	})
+}
+
+func TestWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, Meta{Width: time.Second, Hop: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flow.NewFrame(nil)
+	if err := aw.Append(3, epoch, epoch.Add(time.Second), f); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(3, epoch, epoch.Add(time.Second), f); err == nil {
+		t.Error("non-increasing seq accepted")
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(4, epoch, epoch.Add(time.Second), f); err == nil {
+		t.Error("append after Close accepted")
+	}
+	if err := aw.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+	if _, err := NewWriter(&buf, Meta{Width: -time.Second}); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestArchiveEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := OpenReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.NumSegments() != 0 || !ar.Anchor().IsZero() || ar.Meta() != (Meta{}) {
+		t.Errorf("empty archive: %d segments, anchor %v, meta %+v", ar.NumSegments(), ar.Anchor(), ar.Meta())
+	}
+}

@@ -1,0 +1,223 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestFrameBinaryRoundTripBitIdentical is the archive acceptance property:
+// Frame → WriteTo → ReadFrame must reproduce the frame bit-identically —
+// every column, the interned path table, and the derived pair/start
+// indexes — for arbitrary record multisets. In-package DeepEqual sees the
+// unexported fields, so this compares the complete in-memory structure.
+func TestFrameBinaryRoundTripBitIdentical(t *testing.T) {
+	property := func(seed int64, n uint8) bool {
+		f := NewFrame(randomRecords(seed, int(n)))
+		var buf bytes.Buffer
+		wrote, err := f.WriteTo(&buf)
+		if err != nil {
+			t.Logf("WriteTo: %v", err)
+			return false
+		}
+		if wrote != int64(buf.Len()) {
+			t.Logf("WriteTo reported %d bytes, wrote %d", wrote, buf.Len())
+			return false
+		}
+		if wrote != f.EncodedLen() {
+			t.Logf("EncodedLen = %d, wrote %d", f.EncodedLen(), wrote)
+			return false
+		}
+		got, err := ReadFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("ReadFrame: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Logf("decoded frame differs from original")
+			return false
+		}
+		// The encoding itself is deterministic: re-encoding the decoded
+		// frame reproduces the bytes.
+		var again bytes.Buffer
+		if _, err := got.WriteTo(&again); err != nil {
+			t.Logf("re-encode: %v", err)
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), again.Bytes())
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrameBinaryLargeSwitchIDs pins the corruption bugfix at the binary
+// layer too: switch ids past 2^31 survive the frame codec exactly.
+func TestFrameBinaryLargeSwitchIDs(t *testing.T) {
+	big := []SwitchID{1 << 33, 1<<62 + 7, 0}
+	f := NewFrame([]Record{
+		rec(1, 0, time.Second, 1, 2, 100, big...),
+		rec(2, time.Second, time.Second, 1, 2, 100, big...),
+	})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Switches(0), big) {
+		t.Errorf("switches = %v, want %v", got.Switches(0), big)
+	}
+	if got.PathTable().NumPaths() != 1 {
+		t.Errorf("paths = %d, want 1 (both rows share one interned path)", got.PathTable().NumPaths())
+	}
+}
+
+func TestFrameBinaryEmptyFrame(t *testing.T) {
+	f := NewFrame(nil)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Error("empty frame did not round-trip bit-identically")
+	}
+}
+
+// TestReadFrameRejectsCorruption flips, truncates and forges inputs; every
+// mutation must yield an error, never a quietly different frame.
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	f := NewFrame(randomRecords(3, 40))
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] = 'X'
+		if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		for _, off := range []int{5, frameHeaderSize + 3, len(valid) / 2, len(valid) - 2} {
+			b := append([]byte(nil), valid...)
+			b[off] ^= 0x40
+			if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+				t.Errorf("bit flip at %d accepted", off)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{1, frameHeaderSize, len(valid) / 2, len(valid) - 1} {
+			if _, err := ReadFrame(bytes.NewReader(valid[:cut])); err == nil {
+				t.Errorf("truncation to %d bytes accepted", cut)
+			}
+		}
+	})
+	t.Run("huge declared rows", func(t *testing.T) {
+		b := append([]byte(nil), valid[:frameHeaderSize]...)
+		b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff
+		if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+			t.Error("forged row count with no data accepted")
+		}
+	})
+	t.Run("non-canonical order rejected", func(t *testing.T) {
+		// Swap two rows of the ids+starts region to break (start, id)
+		// order within a pair, then re-checksum so only the order check
+		// can object. Build the forged file from a two-row frame where
+		// both rows share one pair.
+		ff := NewFrame([]Record{
+			rec(1, 0, time.Second, 1, 2, 10),
+			rec(2, time.Second, time.Second, 1, 2, 10),
+		})
+		var fb bytes.Buffer
+		if _, err := ff.WriteTo(&fb); err != nil {
+			t.Fatal(err)
+		}
+		b := fb.Bytes()
+		// ids column starts right after the header: swap the two u64 ids
+		// and the two i64 starts so rows arrive as (id 2, t1), (id 1, t0).
+		swap8 := func(off int) {
+			for i := 0; i < 8; i++ {
+				b[off+i], b[off+8+i] = b[off+8+i], b[off+i]
+			}
+		}
+		swap8(frameHeaderSize)      // ids
+		swap8(frameHeaderSize + 16) // starts
+		rechecksum(b)
+		if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+			t.Error("non-canonical row order accepted")
+		}
+	})
+}
+
+// TestFrameBinaryRejectsNegativeValues: the binary codec applies the same
+// domain validation as the text codecs, on both sides — a frame carrying
+// negative durations, bytes or switch ids neither encodes (no archive time
+// bombs) nor decodes (trust boundary).
+func TestFrameBinaryRejectsNegativeValues(t *testing.T) {
+	bad := []*Frame{
+		NewFrame([]Record{{ID: 1, Start: epoch, Duration: -time.Second, Src: 1, Dst: 2, Bytes: 5}}),
+		NewFrame([]Record{{ID: 1, Start: epoch, Duration: time.Second, Src: 1, Dst: 2, Bytes: -5}}),
+		NewFrame([]Record{{ID: 1, Start: epoch, Duration: time.Second, Src: 1, Dst: 2, Bytes: 5, Switches: []SwitchID{-3}}}),
+	}
+	for i, f := range bad {
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err == nil {
+			t.Errorf("frame %d: negative value encoded without error", i)
+		}
+	}
+	// Decode-side: forge a valid-checksum image with a negative duration.
+	f := NewFrame([]Record{rec(1, 0, time.Second, 1, 2, 10)})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// durs column starts after ids (8) and starts (8): row 0's duration.
+	durOff := frameHeaderSize + 16
+	b[durOff+7] |= 0x80 // set the sign bit
+	rechecksum(b)
+	if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+		t.Error("negative duration decoded without error")
+	}
+}
+
+// rechecksum recomputes the trailing CRC over a mutated frame image so
+// structural validation, not the checksum, is what a test exercises.
+func rechecksum(b []byte) {
+	sum := crc32.ChecksumIEEE(b[:len(b)-4])
+	binary.LittleEndian.PutUint32(b[len(b)-4:], sum)
+}
+
+// TestWriteToPropagatesSinkErrors: a failing writer must surface, not be
+// swallowed into a silently short archive.
+func TestWriteToPropagatesSinkErrors(t *testing.T) {
+	f := NewFrame(randomRecords(5, 100))
+	if _, err := f.WriteTo(failAfter{limit: 10}); err == nil {
+		t.Error("sink failure swallowed")
+	}
+}
+
+type failAfter struct{ limit int }
+
+func (fa failAfter) Write(p []byte) (int, error) {
+	if len(p) > fa.limit {
+		return fa.limit, io.ErrShortWrite
+	}
+	return len(p), nil
+}

@@ -53,11 +53,15 @@ func joinSwitches(switches []SwitchID) string {
 		if i > 0 {
 			sb.WriteByte('|')
 		}
-		sb.WriteString(strconv.Itoa(int(s)))
+		sb.WriteString(strconv.FormatInt(int64(s), 10))
 	}
 	return sb.String()
 }
 
+// parseSwitches parses the "|"-separated switch list. IDs are decoded as
+// full 64-bit values — the historical int-then-truncate conversion silently
+// wrapped IDs past 2^31 into unrelated switches — and out-of-range values
+// (unparseable, overflowing, or negative) are rejected instead of corrupted.
 func parseSwitches(s string) ([]SwitchID, error) {
 	if s == "" {
 		return nil, nil
@@ -70,9 +74,12 @@ func parseSwitches(s string) ([]SwitchID, error) {
 			part, s = s[:i], s[i+1:]
 			last = false
 		}
-		v, err := strconv.Atoi(part)
+		v, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("flow: parse switch %q: %w", part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("flow: negative switch id %d", v)
 		}
 		out = append(out, SwitchID(v))
 		if last {
@@ -127,6 +134,11 @@ func parseCSVRow(row []string, rec *Record) error {
 	if err != nil {
 		return fmt.Errorf("duration: %w", err)
 	}
+	if durNS < 0 {
+		// A negative duration would fabricate a negative Gbps and drag the
+		// monitor's event-time math backwards; reject instead of poisoning.
+		return fmt.Errorf("negative duration %dns", durNS)
+	}
 	src, err := ParseAddr(row[3])
 	if err != nil {
 		return err
@@ -138,6 +150,9 @@ func parseCSVRow(row []string, rec *Record) error {
 	bytes, err := strconv.ParseInt(row[5], 10, 64)
 	if err != nil {
 		return fmt.Errorf("bytes: %w", err)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("negative bytes %d", bytes)
 	}
 	switches, err := parseSwitches(row[6])
 	if err != nil {
@@ -155,7 +170,9 @@ func parseCSVRow(row []string, rec *Record) error {
 	return nil
 }
 
-// recordJSON is the stable JSONL wire form of a Record.
+// recordJSON is the stable JSONL wire form of a Record. Switches carry the
+// full 64-bit SwitchID values: the historical []int32 wire type silently
+// truncated IDs past 2^31, corrupting every downstream per-switch diagnosis.
 type recordJSON struct {
 	ID       uint64  `json:"id"`
 	StartNS  int64   `json:"start_unix_ns"`
@@ -163,7 +180,7 @@ type recordJSON struct {
 	Src      string  `json:"src"`
 	Dst      string  `json:"dst"`
 	Bytes    int64   `json:"bytes"`
-	Switches []int32 `json:"switches,omitempty"`
+	Switches []int64 `json:"switches,omitempty"`
 }
 
 // WriteJSONL writes one JSON object per line for each record.
@@ -171,9 +188,12 @@ func WriteJSONL(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, r := range records {
-		switches := make([]int32, len(r.Switches))
-		for i, s := range r.Switches {
-			switches[i] = int32(s)
+		var switches []int64
+		if len(r.Switches) > 0 {
+			switches = make([]int64, len(r.Switches))
+			for i, s := range r.Switches {
+				switches[i] = int64(s)
+			}
 		}
 		obj := recordJSON{
 			ID:       r.ID,
@@ -194,7 +214,11 @@ func WriteJSONL(w io.Writer, records []Record) error {
 	return nil
 }
 
-// ReadJSONL reads records written by WriteJSONL.
+// ReadJSONL reads records written by WriteJSONL. Rows carrying negative
+// durations, byte counts or switch ids are rejected with a line-numbered
+// error rather than decoded into values that poison Gbps and watermark math
+// downstream; an absent or empty switches list decodes to a nil slice,
+// exactly as ReadCSV and ReadFrame produce.
 func ReadJSONL(r io.Reader) ([]Record, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var records []Record
@@ -205,6 +229,12 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("flow: decode jsonl line %d: %w", line, err)
 		}
+		if obj.DurNS < 0 {
+			return nil, fmt.Errorf("flow: jsonl line %d: negative duration %dns", line, obj.DurNS)
+		}
+		if obj.Bytes < 0 {
+			return nil, fmt.Errorf("flow: jsonl line %d: negative bytes %d", line, obj.Bytes)
+		}
 		src, err := ParseAddr(obj.Src)
 		if err != nil {
 			return nil, fmt.Errorf("flow: jsonl line %d: %w", line, err)
@@ -213,9 +243,15 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("flow: jsonl line %d: %w", line, err)
 		}
-		switches := make([]SwitchID, len(obj.Switches))
-		for i, s := range obj.Switches {
-			switches[i] = SwitchID(s)
+		var switches []SwitchID
+		if len(obj.Switches) > 0 {
+			switches = make([]SwitchID, len(obj.Switches))
+			for i, s := range obj.Switches {
+				if s < 0 {
+					return nil, fmt.Errorf("flow: jsonl line %d: negative switch id %d", line, s)
+				}
+				switches[i] = SwitchID(s)
+			}
 		}
 		records = append(records, Record{
 			ID:       obj.ID,

@@ -69,8 +69,11 @@ func ParseAddr(s string) (Addr, error) {
 	return Addr(v), nil
 }
 
-// SwitchID identifies a fabric switch in collected flow records.
-type SwitchID int32
+// SwitchID identifies a fabric switch in collected flow records. Production
+// collectors derive these from exporter identifiers that do not fit 32 bits
+// (SNMP engine IDs, chassis MACs), so the type is a full int64; valid IDs
+// are non-negative, and the text codecs reject anything else on decode.
+type SwitchID int64
 
 // String renders the switch identifier, e.g. "sw-12".
 func (s SwitchID) String() string { return "sw-" + strconv.FormatInt(int64(s), 10) }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -257,6 +258,116 @@ func TestParseSwitchesRejectsMalformed(t *testing.T) {
 	}
 	if got, err := parseSwitches(""); err != nil || got != nil {
 		t.Errorf("parseSwitches(\"\") = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestCodecLargeSwitchIDs pins the truncation bugfix: switch ids past 2^31
+// round-trip through both text codecs instead of wrapping into unrelated
+// switches (the historical int32 wire forms corrupted every downstream
+// per-switch diagnosis).
+func TestCodecLargeSwitchIDs(t *testing.T) {
+	records := []Record{
+		rec(1, 0, time.Second, 1, 2, 100, 1<<33, 1<<62+7),
+		rec(2, time.Second, time.Second, 3, 4, 50, (1<<63)-1),
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jsonBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSONL(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if !recordsEqual(records[i], fromCSV[i]) {
+			t.Errorf("csv record %d: got switches %v, want %v", i, fromCSV[i].Switches, records[i].Switches)
+		}
+		if !recordsEqual(records[i], fromJSON[i]) {
+			t.Errorf("jsonl record %d: got switches %v, want %v", i, fromJSON[i].Switches, records[i].Switches)
+		}
+	}
+}
+
+// TestCodecRejectsNegativeFields pins the validation bugfix: negative
+// durations, byte counts and switch ids are decode errors carrying the
+// offending line number, never records that poison Gbps and watermark math.
+func TestCodecRejectsNegativeFields(t *testing.T) {
+	good := []Record{rec(1, 0, time.Second, 1, 2, 100, 3)}
+	mutations := []struct {
+		name   string
+		mutate func(*Record)
+	}{
+		{"negative duration", func(r *Record) { r.Duration = -time.Second }},
+		{"negative bytes", func(r *Record) { r.Bytes = -100 }},
+		{"negative switch", func(r *Record) { r.Switches = []SwitchID{-5} }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			bad := good[0]
+			m.mutate(&bad)
+			records := append(good, bad) // line 3 of the CSV, line 2 of the JSONL
+
+			var csvBuf, jsonBuf bytes.Buffer
+			if err := WriteCSV(&csvBuf, records); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadCSV(&csvBuf); err == nil {
+				t.Error("ReadCSV accepted the record")
+			} else if !strings.Contains(err.Error(), "line 3") {
+				t.Errorf("ReadCSV error not line-numbered: %v", err)
+			}
+			if err := WriteJSONL(&jsonBuf, records); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadJSONL(&jsonBuf); err == nil {
+				t.Error("ReadJSONL accepted the record")
+			} else if !strings.Contains(err.Error(), "line 2") {
+				t.Errorf("ReadJSONL error not line-numbered: %v", err)
+			}
+		})
+	}
+}
+
+// TestCodecNilVsEmptySwitches: all codecs agree that a record with no
+// switches decodes with a nil slice (ReadJSONL used to yield an empty
+// non-nil slice, breaking cross-codec DeepEqual of decoded traces).
+func TestCodecNilVsEmptySwitches(t *testing.T) {
+	records := []Record{
+		rec(1, 0, time.Second, 1, 2, 100),
+		{ID: 2, Start: epoch, Duration: time.Second, Src: 1, Dst: 2, Bytes: 5, Switches: []SwitchID{}},
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jsonBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSONL(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if fromCSV[i].Switches != nil {
+			t.Errorf("csv record %d: switches = %#v, want nil", i, fromCSV[i].Switches)
+		}
+		if fromJSON[i].Switches != nil {
+			t.Errorf("jsonl record %d: switches = %#v, want nil", i, fromJSON[i].Switches)
+		}
+	}
+	if !reflect.DeepEqual(fromCSV, fromJSON) {
+		t.Error("CSV and JSONL decode the same trace differently")
 	}
 }
 

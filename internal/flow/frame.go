@@ -83,7 +83,9 @@ func (b *FrameBuilder) InternPath(path []SwitchID) PathID {
 	}
 	b.key = b.key[:0]
 	for _, s := range path {
-		b.key = append(b.key, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+		b.key = append(b.key,
+			byte(s>>56), byte(s>>48), byte(s>>40), byte(s>>32),
+			byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
 	}
 	// map[string] lookup on a []byte key does not allocate; the string is
 	// materialized only when the path is new.
@@ -185,6 +187,16 @@ func (b *FrameBuilder) Build() *Frame {
 		f.nbytes[newIdx] = b.nbytes[oldIdx]
 		f.paths[newIdx] = b.paths[oldIdx]
 	}
+	f.buildIndexes()
+	return f
+}
+
+// buildIndexes derives the pair index and the start-ordered permutation from
+// already-canonically-sorted columns. Build and ReadFrame share it, so a
+// decoded frame's indexes are bit-identical to the builder's for the same
+// columns.
+func (f *Frame) buildIndexes() {
+	n := len(f.ids)
 	// Pair index over the sorted rows.
 	f.rowPair = make([]int32, n)
 	for i := 0; i < n; i++ {
@@ -208,7 +220,6 @@ func (b *FrameBuilder) Build() *Frame {
 		}
 		return f.ids[i] < f.ids[j]
 	})
-	return f
 }
 
 // Frame is the immutable struct-of-arrays form of one analysis window:

@@ -66,15 +66,28 @@ func TestParseAddrStrict(t *testing.T) {
 }
 
 // TestCodecRoundTripFrameBacked is the codec property test over
-// frame-backed records: materializing a frame and writing it through
-// either codec must read back exactly, for arbitrary record multisets —
-// including the path-table aliasing the frame introduces.
+// frame-backed records: materializing a frame and writing it through any of
+// the three codecs — CSV, JSONL, binary frame — must read back exactly, for
+// arbitrary record multisets, including switch ids past 2^31 (which the
+// historical int32-typed wire forms silently wrapped) and the path-table
+// aliasing the frame introduces. All three decoders must also agree on the
+// nil-vs-empty normalization of switch lists: an empty path reads back nil.
 func TestCodecRoundTripFrameBacked(t *testing.T) {
 	property := func(seed int64, n uint8) bool {
 		records := randomRecords(seed, int(n))
-		materialized := NewFrame(records).RecordsByStart()
+		// Salt a large switch id into some paths so every run crosses the
+		// old 32-bit truncation boundary.
+		for i := range records {
+			if len(records[i].Switches) > 0 && i%3 == 0 {
+				path := append([]SwitchID(nil), records[i].Switches...)
+				path[0] += 1 << 40
+				records[i].Switches = path
+			}
+		}
+		frame := NewFrame(records)
+		materialized := frame.RecordsByStart()
 
-		var csvBuf, jsonBuf bytes.Buffer
+		var csvBuf, jsonBuf, binBuf bytes.Buffer
 		if err := WriteCSV(&csvBuf, materialized); err != nil {
 			t.Logf("WriteCSV: %v", err)
 			return false
@@ -93,11 +106,30 @@ func TestCodecRoundTripFrameBacked(t *testing.T) {
 			t.Logf("ReadJSONL: %v", err)
 			return false
 		}
-		if len(fromCSV) != len(materialized) || len(fromJSON) != len(materialized) {
+		if _, err := frame.WriteTo(&binBuf); err != nil {
+			t.Logf("WriteTo: %v", err)
+			return false
+		}
+		decodedFrame, err := ReadFrame(&binBuf)
+		if err != nil {
+			t.Logf("ReadFrame: %v", err)
+			return false
+		}
+		fromBin := decodedFrame.RecordsByStart()
+		if len(fromCSV) != len(materialized) || len(fromJSON) != len(materialized) || len(fromBin) != len(materialized) {
 			return false
 		}
 		for i := range materialized {
-			if !recordsEqual(materialized[i], fromCSV[i]) || !recordsEqual(materialized[i], fromJSON[i]) {
+			if !recordsEqual(materialized[i], fromCSV[i]) ||
+				!recordsEqual(materialized[i], fromJSON[i]) ||
+				!recordsEqual(materialized[i], fromBin[i]) {
+				return false
+			}
+			// Identical normalization across codecs: empty switch lists
+			// are nil from every decoder.
+			if len(materialized[i].Switches) == 0 &&
+				(fromCSV[i].Switches != nil || fromJSON[i].Switches != nil || fromBin[i].Switches != nil) {
+				t.Logf("record %d: empty switches decoded non-nil", i)
 				return false
 			}
 		}
@@ -105,9 +137,60 @@ func TestCodecRoundTripFrameBacked(t *testing.T) {
 		if !reflect.DeepEqual(materialized, NewFrame(fromCSV).RecordsByStart()) {
 			return false
 		}
-		return true
+		return reflect.DeepEqual(frame, decodedFrame)
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzReadFrame drives the binary frame decoder with arbitrary bytes: it
+// must never panic, never allocate unboundedly from forged headers, and
+// anything it accepts must satisfy the Frame invariants and re-encode to
+// the exact input bytes (the format admits one spelling per frame).
+func FuzzReadFrame(f *testing.F) {
+	for _, n := range []int{0, 1, 7, 60} {
+		var buf bytes.Buffer
+		if _, err := NewFrame(randomRecords(int64(n), n)).WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			f.Add(buf.Bytes()[:buf.Len()/2]) // truncation
+			mut := append([]byte(nil), buf.Bytes()...)
+			mut[8] ^= 0xff // forged row count
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("LPF1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted frames uphold the public invariants...
+		for i := 0; i < fr.Len(); i++ {
+			if p := fr.Path(i); p != NoPath && (p < 0 || int(p) >= fr.PathTable().NumPaths()) {
+				t.Fatalf("row %d references out-of-range path %d", i, p)
+			}
+			_ = fr.Switches(i)
+			_ = fr.Record(i)
+		}
+		for i := 0; i < fr.NumPairs(); i++ {
+			lo, hi := fr.PairSpan(i)
+			if lo < 0 || hi > fr.Len() || lo > hi {
+				t.Fatalf("pair %d span [%d,%d) out of range", i, lo, hi)
+			}
+		}
+		// ...and re-encode byte-identically, consuming exactly the bytes
+		// the encoder would produce.
+		var out bytes.Buffer
+		if _, err := fr.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted frame re-encodes differently")
+		}
+	})
 }

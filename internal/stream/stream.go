@@ -66,6 +66,13 @@ type Config struct {
 	// stall the engine emitting one empty window per grid slot across the
 	// gap. 0 defaults to DefaultMaxEmptyRun.
 	MaxEmptyRun int
+	// Anchor pre-sets the event-time grid origin instead of anchoring at
+	// the earliest record of the first push. Deterministic replay uses it:
+	// a recorded session whose grid was anchored by a record that was not
+	// the globally earliest (an out-of-order straggler opened an earlier
+	// window) can only be reproduced by restoring the original origin.
+	// Zero means anchor at the first push, the default.
+	Anchor time.Time
 }
 
 // DefaultMaxEmptyRun is the default bound on consecutive empty windows
@@ -100,7 +107,10 @@ type Result[R any] struct {
 	Window Window
 	// Rows is the number of records the window held (0 for an empty
 	// window, which is still emitted).
-	Rows  int
+	Rows int
+	// Frame is the window's immutable columnar frame — the exact input the
+	// analyze callback saw. Archive sinks persist it; it is never nil.
+	Frame *flow.Frame
 	Value R
 	Err   error
 }
@@ -150,12 +160,27 @@ func New[R any](cfg Config, analyze func(ctx context.Context, w Window, f *flow.
 	if cfg.Hop > cfg.Width {
 		panic("stream: hop exceeds window width")
 	}
-	return &Engine[R]{
+	e := &Engine[R]{
 		cfg:     cfg,
 		analyze: analyze,
 		open:    make(map[int64]*openWindow),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	if !cfg.Anchor.IsZero() {
+		e.anchored = true
+		e.anchor = cfg.Anchor.UnixNano()
+		e.maxEvent = e.anchor
+	}
+	return e
+}
+
+// Anchor returns the event-time grid origin (zero until the first push
+// anchors it).
+func (e *Engine[R]) Anchor() time.Time {
+	if !e.anchored {
+		return time.Time{}
+	}
+	return time.Unix(0, e.anchor).UTC()
 }
 
 // Late returns the number of dropped record-to-window assignments: each
@@ -320,7 +345,7 @@ func (e *Engine[R]) dispatch(ctx context.Context, k int64) error {
 			f = flow.NewFrame(nil)
 		}
 		v, err := e.analyze(ctx, win, f)
-		ch <- Result[R]{Window: win, Rows: rows, Value: v, Err: err}
+		ch <- Result[R]{Window: win, Rows: rows, Frame: f, Value: v, Err: err}
 	}()
 	return nil
 }

@@ -3,9 +3,11 @@ package llmprism
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/bocd"
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
@@ -82,6 +84,8 @@ type monitorConfig struct {
 	lateness time.Duration
 	depth    int
 	registry jobrec.RegistryConfig
+	archive  io.Writer
+	anchor   time.Time
 }
 
 // MonitorOption customizes a Monitor.
@@ -115,6 +119,27 @@ func WithPipelineDepth(n int) MonitorOption {
 // WithJobRegistry tunes cross-window job identity matching.
 func WithJobRegistry(cfg jobrec.RegistryConfig) MonitorOption {
 	return func(c *monitorConfig) { c.registry = cfg }
+}
+
+// WithArchive makes the monitor's Stream session record every completed
+// window — its columnar frame, window bounds and the event-time grid
+// anchor — into a binary trace archive written to w. The monitor stamps
+// its own window geometry into the archive header, so the `llmprism
+// replay` path (Monitor.Stream over each archived window's records, grid
+// pre-anchored via WithAnchor) reproduces the recorded reports bit for
+// bit. MonitorStream.Close finalizes the archive's manifest; the caller
+// still owns (and closes) w itself. Only the Stream path archives; Feed
+// ignores the option.
+func WithArchive(w io.Writer) MonitorOption {
+	return func(c *monitorConfig) { c.archive = w }
+}
+
+// WithAnchor pre-sets the Stream session's event-time grid origin instead
+// of anchoring at the earliest record of the first push. Replay uses it to
+// restore a recorded session's exact window grid (archives carry the
+// anchor); it is not needed for live collection.
+func WithAnchor(t time.Time) MonitorOption {
+	return func(c *monitorConfig) { c.anchor = t }
 }
 
 // NewMonitor returns a Monitor that analyzes consecutive windows of the
@@ -394,19 +419,32 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 	if len(m.buf) > 0 || m.seq > 0 {
 		return nil, fmt.Errorf("llmprism: monitor has Feed state (%d buffered records, %d windows emitted); use a fresh Monitor for streaming", len(m.buf), m.seq)
 	}
+	var sink *archive.Writer
+	if m.cfg.archive != nil {
+		var err error
+		sink, err = archive.NewWriter(m.cfg.archive, archive.Meta{
+			Width:    m.cfg.window,
+			Hop:      m.cfg.hop,
+			Lateness: m.cfg.lateness,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("llmprism: open archive sink: %w", err)
+		}
+	}
 	m.streaming = true
 	eng := stream.New(stream.Config{
 		Width:       m.cfg.window,
 		Hop:         m.cfg.hop,
 		Lateness:    m.cfg.lateness,
 		MaxInFlight: m.cfg.depth,
+		Anchor:      m.cfg.anchor,
 	}, func(ctx context.Context, _ stream.Window, f *flow.Frame) (*Report, error) {
 		if f.Len() == 0 {
 			return &Report{}, nil
 		}
 		return m.analyzer.AnalyzeFrameContext(ctx, f, m.mapper)
 	})
-	return &MonitorStream{m: m, ctx: ctx, eng: eng}, nil
+	return &MonitorStream{m: m, ctx: ctx, eng: eng, sink: sink}, nil
 }
 
 // MonitorStream is one streaming ingestion session. Drive it from a single
@@ -417,6 +455,7 @@ type MonitorStream struct {
 	m      *Monitor
 	ctx    context.Context
 	eng    *stream.Engine[*Report]
+	sink   *archive.Writer
 	err    error
 	closed bool
 }
@@ -443,8 +482,10 @@ func (s *MonitorStream) Push(records []FlowRecord) ([]*Report, error) {
 
 // Close flushes every remaining window — partial trailing windows
 // included — waits for in-flight analyses and returns the remaining
-// reports in window order. The session stays usable only for Late and
-// Pending afterwards.
+// reports in window order. With an archive sink configured it then stamps
+// the grid anchor and finalizes the archive manifest (the underlying
+// writer stays open; the caller owns it). The session stays usable only
+// for Late and Pending afterwards.
 func (s *MonitorStream) Close() ([]*Report, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -460,11 +501,20 @@ func (s *MonitorStream) Close() ([]*Report, error) {
 	}
 	if err != nil {
 		s.err = err
+		return reports, err
 	}
-	return reports, err
+	if s.sink != nil {
+		s.sink.SetAnchor(s.eng.Anchor())
+		if err := s.sink.Close(); err != nil {
+			s.err = fmt.Errorf("llmprism: finalize archive: %w", err)
+			return reports, s.err
+		}
+	}
+	return reports, nil
 }
 
-// collect stamps bounds and continuity onto completed windows, in order.
+// collect stamps bounds and continuity onto completed windows, in order,
+// and persists each window's frame when an archive sink is configured.
 func (s *MonitorStream) collect(results []stream.Result[*Report]) ([]*Report, error) {
 	var reports []*Report
 	for _, res := range results {
@@ -476,6 +526,12 @@ func (s *MonitorStream) collect(results []stream.Result[*Report]) ([]*Report, er
 		r.Window = WindowInfo{Seq: res.Window.Seq, Start: res.Window.Start, End: res.Window.End}
 		s.m.seq = res.Window.Seq + 1
 		s.m.annotate(r)
+		if s.sink != nil {
+			if err := s.sink.Append(res.Window.Seq, res.Window.Start, res.Window.End, res.Frame); err != nil {
+				s.err = fmt.Errorf("llmprism: archive window %d: %w", res.Window.Seq, err)
+				return reports, s.err
+			}
+		}
 		reports = append(reports, r)
 	}
 	return reports, nil

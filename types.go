@@ -3,6 +3,7 @@ package llmprism
 import (
 	"io"
 
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
 	"github.com/llmprism/llmprism/internal/core/parallel"
@@ -89,6 +90,14 @@ type (
 	Fault = faults.Fault
 	// GroundTruth is the simulation's reference record for scoring.
 	GroundTruth = truth.Platform
+
+	// TraceArchive reads a binary trace archive recorded with
+	// WithArchive (or an erspan capture). Open with OpenTraceArchive.
+	TraceArchive = archive.Reader
+	// TraceArchiveMeta is the window geometry a trace was recorded with.
+	TraceArchiveMeta = archive.Meta
+	// TraceArchiveSegment locates one archived window.
+	TraceArchiveSegment = archive.Segment
 )
 
 // Re-exported enum values.
@@ -142,3 +151,18 @@ func WriteFlowsCSV(w io.Writer, f []FlowRecord) error { return flow.WriteCSV(w, 
 // ReadFlowsJSONL / WriteFlowsJSONL read and write the JSONL flow format.
 func ReadFlowsJSONL(r io.Reader) ([]FlowRecord, error)  { return flow.ReadJSONL(r) }
 func WriteFlowsJSONL(w io.Writer, f []FlowRecord) error { return flow.WriteJSONL(w, f) }
+
+// ReadFlowFrame / WriteFlowFrame read and write one frame in the binary
+// columnar layout — the persistence form the trace archive stores, decoded
+// without text parsing or re-sorting.
+func ReadFlowFrame(r io.Reader) (*FlowFrame, error)           { return flow.ReadFrame(r) }
+func WriteFlowFrame(w io.Writer, f *FlowFrame) (int64, error) { return f.WriteTo(w) }
+
+// OpenTraceArchive opens a binary trace archive recorded by a Monitor
+// Stream session with WithArchive. r must cover the whole archive (size
+// bytes); segments come back in event-time order, ready to replay through
+// a fresh monitor session anchored at the archive's recorded grid origin
+// (WithAnchor + TraceArchive.Anchor).
+func OpenTraceArchive(r io.ReaderAt, size int64) (*TraceArchive, error) {
+	return archive.OpenReader(r, size)
+}
