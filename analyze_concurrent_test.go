@@ -53,6 +53,90 @@ func concurrencyTrace(t testing.TB) ([]FlowRecord, *Topology) {
 	return concRecords, concTopo
 }
 
+// faultedTrace simulates a multi-tenant window with a degraded spine once
+// per test binary; the localization determinism tests re-analyze it at
+// several worker counts.
+var (
+	faultOnce    sync.Once
+	faultRecords []FlowRecord
+	faultTopo    *Topology
+	faultSpine   SwitchID
+	faultErr     error
+)
+
+func faultedTrace(t testing.TB) ([]FlowRecord, *Topology, SwitchID) {
+	t.Helper()
+	faultOnce.Do(func() {
+		topoSpec := TopologySpec{Nodes: 24, NodesPerLeaf: 3, Spines: 4}
+		topo, err := NewTopology(topoSpec)
+		if err != nil {
+			faultErr = err
+			return
+		}
+		faultSpine = topo.SpineSwitch(1)
+		jobs, err := PlanJobs(topoSpec, []JobPlan{
+			{Nodes: 8, TargetStep: 2 * time.Second},
+			{Nodes: 8, TargetStep: 2 * time.Second},
+			{Nodes: 8, TargetStep: 2 * time.Second},
+		}, 13)
+		if err != nil {
+			faultErr = err
+			return
+		}
+		res, err := Simulate(Scenario{
+			Name: "faulted", Topo: topoSpec, Jobs: jobs,
+			Faults: FaultSchedule{Faults: []Fault{{
+				Kind: FaultSwitchDegrade, Switch: faultSpine,
+				At: 10 * time.Second, Until: 40 * time.Second, Factor: 0.1,
+			}}},
+			Horizon: 40 * time.Second,
+		})
+		if err != nil {
+			faultErr = err
+			return
+		}
+		faultRecords = res.Records
+		faultTopo = res.Topo
+	})
+	if faultErr != nil {
+		t.Fatal(faultErr)
+	}
+	return faultRecords, faultTopo, faultSpine
+}
+
+// TestLocalizationDeterministicAcrossWorkers: the ranked suspect list of a
+// degraded-spine window must be bit-identical for every analysis worker
+// count — localization folds its evidence on the in-order merge path, not
+// inside the fan-out. Run with -race.
+func TestLocalizationDeterministicAcrossWorkers(t *testing.T) {
+	records, topo, spine := faultedTrace(t)
+	analyze := func(workers int) *Report {
+		report, err := New(
+			WithWorkers(workers),
+			WithSwitchBucket(5*time.Second),
+			WithLocalization(LocalizationConfig{}),
+		).Analyze(records, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	want := analyze(1)
+	if len(want.Suspects) == 0 {
+		t.Fatal("degraded-spine window produced no suspects")
+	}
+	if top := want.Suspects[0].Component; top != (SuspectComponent{Kind: ComponentSwitch, Switch: spine}) {
+		t.Errorf("top suspect = %v, want the degraded spine %v", top, spine)
+	}
+	for _, workers := range []int{2, 8} {
+		got := analyze(workers)
+		if !reflect.DeepEqual(want.Suspects, got.Suspects) {
+			t.Errorf("workers=%d: suspects diverge from sequential run\nwant %+v\ngot  %+v",
+				workers, want.Suspects, got.Suspects)
+		}
+	}
+}
+
 // TestAnalyzeContextMatchesSequential is the pipeline's determinism
 // guarantee: the concurrent analysis of a multi-job window must be
 // deep-equal — including float-typed alert values and switch series — to

@@ -6,11 +6,12 @@
 // Usage:
 //
 //	llmprism analyze  -flows flows.csv -topo topo.json [-alerts-only] [-workers 8]
+//	llmprism diagnose -flows flows.csv -topo topo.json [-localize] [-bucket 1m] [-workers 8]
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
-//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2]
+//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize]
 //	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
-//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2]
+//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2] [-localize]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
@@ -22,14 +23,21 @@
 // pipeline -depth windows deep. Each window prints its job, alert and
 // ongoing-incident summary; late records are counted, not misfiled.
 //
+// diagnose is the diagnosis-focused view of analyze: it stratifies the
+// switch-bandwidth comparison by tier (leaves vs spines, from the
+// topology — monitor, record and replay stratify the same way) and, with
+// -localize, converts the window's alerts plus the flows' switch paths
+// into a ranked list of suspect components — the switch, inter-switch
+// link or host NIC most likely behind the symptoms.
+//
 // record is monitor plus persistence: every completed window's columnar
 // frame is appended to a binary trace archive alongside the printed
 // report. replay reopens such an archive — no flow file, no text parsing,
 // no re-sorting — and pushes the archived windows back through a fresh
 // monitor session on the recorded window grid, reproducing the recorded
-// session's reports bit for bit (run with the same -bucket and detector
-// settings used to record). Archives written by an unwindowed capture
-// (zero recorded width) take their window geometry from the flags
+// session's reports bit for bit (run with the same -bucket, -localize and
+// detector settings used to record). Archives written by an unwindowed
+// capture (zero recorded width) take their window geometry from the flags
 // instead.
 package main
 
@@ -81,6 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		batch       = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
 		depth       = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
 		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
+		localized   = fs.Bool("localize", false, "rank root-cause suspect components (diagnose, monitor, record, replay)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,17 +98,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	analyzer := llmprism.New(
+	aopts := []llmprism.Option{
 		llmprism.WithSwitchBucket(*bucket),
 		llmprism.WithWorkers(*workers),
-	)
+	}
+	if *localized {
+		aopts = append(aopts, llmprism.WithLocalization(llmprism.LocalizationConfig{}))
+	}
+	analyzer := llmprism.New(aopts...)
+	// The topology-aware subcommands (diagnose, monitor, record, replay)
+	// stratify the switch-bandwidth peer comparison by tier: leaves are
+	// judged against leaves, spines against spines. analyze/switches keep
+	// the historical pooled comparison.
+	tiered := func(topo *topology.Topology) *llmprism.Analyzer {
+		return llmprism.New(append(aopts, llmprism.WithSwitchTiers(func(sw llmprism.SwitchID) int {
+			if topo.IsSpine(sw) {
+				return 1
+			}
+			return 0
+		}))...)
+	}
 	if cmd == "replay" {
 		// Replay needs no flow file: the archive is the trace.
 		topo, err := loadTopo(*topoPath)
 		if err != nil {
 			return err
 		}
-		return runReplay(ctx, stdout, *archivePath, topo, analyzer, *window, *lateness, *depth)
+		return runReplay(ctx, stdout, *archivePath, topo, tiered(topo), *window, *lateness, *depth)
 	}
 
 	records, topo, err := load(*flowsPath, *topoPath)
@@ -108,12 +133,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	switch cmd {
 	case "monitor":
-		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth, "")
+		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, "")
 	case "record":
 		if *archivePath == "" {
 			return fmt.Errorf("record requires -archive")
 		}
-		return runMonitor(ctx, stdout, records, topo, analyzer, *window, *hop, *lateness, *batch, *depth, *archivePath)
+		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, *archivePath)
+	case "diagnose":
+		report, err := tiered(topo).AnalyzeContext(ctx, records, topo)
+		if err != nil {
+			return err
+		}
+		return printDiagnose(stdout, report, topo, *localized)
 	}
 	report, err := analyzer.AnalyzeContext(ctx, records, topo)
 	if err != nil {
@@ -131,8 +162,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, viz.AlertList(report.SwitchAlerts))
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want analyze, timeline, switches, monitor, record or replay)", cmd)
+		return fmt.Errorf("unknown command %q (want analyze, diagnose, timeline, switches, monitor, record or replay)", cmd)
 	}
+}
+
+// componentName renders a suspect component with topology-aware switch
+// names ("spine-3" instead of "sw-11").
+func componentName(topo *topology.Topology, c llmprism.SuspectComponent) string {
+	switch c.Kind {
+	case llmprism.ComponentSwitch:
+		return "switch " + topo.SwitchName(c.Switch)
+	case llmprism.ComponentLink:
+		return "link " + topo.SwitchName(c.A) + " -> " + topo.SwitchName(c.B)
+	default:
+		return "host " + c.Host.String()
+	}
+}
+
+// printDiagnose writes the diagnosis-focused view: alerts, then (with
+// localization enabled) the ranked root-cause suspects.
+func printDiagnose(stdout io.Writer, report *llmprism.Report, topo *topology.Topology, localized bool) error {
+	alerts := report.Alerts()
+	fmt.Fprintf(stdout, "alerts (%d):\n", len(alerts))
+	fmt.Fprint(stdout, viz.AlertList(alerts))
+	if !localized {
+		return nil
+	}
+	fmt.Fprintf(stdout, "\nroot-cause suspects (%d):\n", len(report.Suspects))
+	if len(report.Suspects) == 0 {
+		fmt.Fprintln(stdout, "  none (no alert implicated any flow)")
+		return nil
+	}
+	for i, s := range report.Suspects {
+		fmt.Fprintf(stdout, "  #%d %-28s score %6.2f  coverage %.2f  contrast %5.2f  (%d implicated, %d healthy flows)\n",
+			i+1, componentName(topo, s.Component), s.Score, s.Coverage, s.Contrast, s.Implicated, s.Healthy)
+	}
+	return nil
 }
 
 // printReports writes the per-window summary lines both the monitor and
@@ -152,6 +217,14 @@ func printReports(stdout io.Writer, reports []*llmprism.Report) {
 				state = "resolved"
 			}
 			fmt.Fprintf(stdout, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
+		}
+		for i, s := range r.Suspects {
+			if i == 3 {
+				fmt.Fprintf(stdout, "  … and %d more suspects\n", len(r.Suspects)-i)
+				break
+			}
+			fmt.Fprintf(stdout, "  suspect #%d %v: score %.2f, suspect for %d windows since %s\n",
+				i+1, s.Component, s.Score, s.Windows, s.FirstSeen.Format(time.TimeOnly))
 		}
 	}
 }

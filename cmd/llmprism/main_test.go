@@ -69,6 +69,34 @@ func TestRunAnalyze(t *testing.T) {
 	}
 }
 
+func TestRunDiagnose(t *testing.T) {
+	flows, topo := writeTrace(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"diagnose", "-flows", flows, "-topo", topo, "-bucket", "5s", "-workers", "2",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alerts (") {
+		t.Errorf("diagnose output missing alert section:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "root-cause suspects") {
+		t.Errorf("suspects printed without -localize:\n%s", out.String())
+	}
+
+	out.Reset()
+	err = run(context.Background(), []string{
+		"diagnose", "-flows", flows, "-topo", topo, "-bucket", "5s", "-localize",
+	}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "root-cause suspects") {
+		t.Errorf("diagnose -localize output missing suspects section:\n%s", out.String())
+	}
+}
+
 func TestRunSwitches(t *testing.T) {
 	flows, topo := writeTrace(t)
 	var out strings.Builder
@@ -167,6 +195,7 @@ func TestRunRecordReplay(t *testing.T) {
 	err := run(context.Background(), []string{
 		"record", "-flows", flows, "-topo", topo, "-archive", arch,
 		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-bucket", "2s",
+		"-localize",
 	}, &recOut, &recOut)
 	if err != nil {
 		t.Fatal(err)
@@ -178,9 +207,12 @@ func TestRunRecordReplay(t *testing.T) {
 		t.Fatalf("archive not written: %v", err)
 	}
 
+	// Replay with the same detector settings (including -localize, so the
+	// per-window suspect lines are compared too).
 	var repOut strings.Builder
 	err = run(context.Background(), []string{
 		"replay", "-archive", arch, "-topo", topo, "-depth", "3", "-bucket", "2s",
+		"-localize",
 	}, &repOut, &repOut)
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	repro                  # run everything at paper scale
-//	repro -exp table1      # one experiment: fig3|table1|fig4|fig5|diagnosis|a1|a2|a3
+//	repro -exp table1      # one experiment: fig3|table1|fig4|fig5|diagnosis|localize|a1|a2|a3
 //	repro -exp fig3,fig5   # a comma-separated subset
 //	repro -scale 0.25      # reduced scale for quick runs
 //	repro -seed 7

@@ -4,7 +4,10 @@
 // in a pipeline while newer records keep ingesting, and the job registry
 // plus incident tracker carry identity across windows: a GPU that starts
 // thermal throttling mid-run shows up as one ongoing incident with a
-// first-seen time, not an unrelated alert pile per window.
+// first-seen time, not an unrelated alert pile per window. With
+// localization enabled, each window also carries a ranked list of suspect
+// components — the switch, link or host NIC the alerts point at — with the
+// same cross-window continuity.
 //
 // The session also records itself: WithArchive persists every completed
 // window's columnar frame into a binary trace archive, and the final step
@@ -64,7 +67,9 @@ func main() {
 	// collector exports; two windows may analyze while newer records
 	// stream in.
 	var trace bytes.Buffer
-	monitor, err := llmprism.NewMonitor(llmprism.New(), res.Topo, 40*time.Second,
+	monitor, err := llmprism.NewMonitor(
+		llmprism.New(llmprism.WithLocalization(llmprism.LocalizationConfig{})),
+		res.Topo, 40*time.Second,
 		llmprism.WithLateness(5*time.Second),
 		llmprism.WithPipelineDepth(2),
 		llmprism.WithArchive(&trace),
@@ -113,6 +118,13 @@ func main() {
 					fmt.Printf("    %v resolved after %d windows\n", inc.Key.Kind, inc.Windows)
 				}
 			}
+			for i, s := range report.Suspects {
+				if i == 2 {
+					break
+				}
+				fmt.Printf("    suspect #%d %v: score %.2f, suspect for %d windows\n",
+					i+1, s.Component, s.Score, s.Windows)
+			}
 		}
 	}
 
@@ -144,7 +156,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	replayMon, err := llmprism.NewMonitor(llmprism.New(), res.Topo, ar.Meta().Width,
+	// Same analyzer settings as the live session (localization included),
+	// or the replayed reports could not be bit-identical.
+	replayMon, err := llmprism.NewMonitor(
+		llmprism.New(llmprism.WithLocalization(llmprism.LocalizationConfig{})),
+		res.Topo, ar.Meta().Width,
 		llmprism.WithLateness(ar.Meta().Lateness),
 		llmprism.WithPipelineDepth(2),
 		llmprism.WithAnchor(ar.Anchor()),

@@ -92,6 +92,14 @@ type Config struct {
 	// Bucket is the time-bucket width for switch-level series.
 	// Default 1 minute.
 	Bucket time.Duration
+	// SwitchTier classifies switches into comparison tiers for the
+	// switch-bandwidth detector: the k-sigma peer population is formed
+	// within each tier separately, because leaf and spine switches carry
+	// structurally different per-flow bandwidth (a leaf sees every local
+	// flow once, a spine only the ECMP share that hashed onto it), and
+	// pooling them makes the low tier look degraded against the high one.
+	// Nil (the default) compares all switches in a single population.
+	SwitchTier func(flow.SwitchID) int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,11 +127,15 @@ func kSigmaOutlierLOO(xs []float64, i int, k float64, side int) (bool, float64) 
 	}
 	mean := stats.Mean(rest)
 	sd := stats.StdDev(rest)
+	// The 1%-of-mean floor applies always, not only to zero-variance
+	// populations — the same discipline CrossStep uses. A near-constant
+	// baseline with tiny nonzero variance (sampling noise) must not turn
+	// sub-percent deviations into k-sigma outliers.
+	if floor := 0.01 * math.Abs(mean); sd < floor {
+		sd = floor
+	}
 	if sd < 1e-12 {
-		sd = math.Abs(mean) * 0.01
-		if sd == 0 {
-			sd = 1e-12
-		}
+		sd = 1e-12
 	}
 	if side >= 0 {
 		return xs[i] > mean+k*sd, mean
@@ -245,7 +257,14 @@ type SwitchPoint struct {
 	// Flows is the number of distinct DP flow records traversing the
 	// switch in the bucket.
 	Flows int
-	// MeanGbps is the average per-flow bandwidth of those records.
+	// BWFlows is the number of those records with a measurable bandwidth
+	// (positive duration and byte count). Collectors export degenerate
+	// zero-duration/zero-byte records (single-packet or clipped flows)
+	// whose Gbps reads 0; counting them into the mean would fabricate
+	// bandwidth degradation on healthy switches.
+	BWFlows int
+	// MeanGbps is the average per-flow bandwidth over the BWFlows
+	// measurable records (0 when there are none).
 	MeanGbps float64
 }
 
@@ -265,6 +284,7 @@ type SeriesAccum struct {
 
 type seriesCell struct {
 	flows int
+	bw    int
 	sum   float64
 }
 
@@ -284,8 +304,12 @@ func (a *SeriesAccum) Add(records []flow.Record, types map[flow.Pair]parallel.Ty
 		}
 		bucket := r.Start.Truncate(a.cfg.Bucket)
 		gbps := r.Gbps()
+		bw := 0
+		if r.Duration > 0 && r.Bytes > 0 {
+			bw = 1
+		}
 		for _, sw := range r.Switches {
-			a.cell(sw, bucket).add(1, gbps)
+			a.cell(sw, bucket).add(1, bw, gbps)
 		}
 	}
 }
@@ -310,8 +334,12 @@ func (a *SeriesAccum) AddView(v flow.View, types map[flow.Pair]parallel.Type) {
 		r := int(ri)
 		bucket := f.Start(r).Truncate(a.cfg.Bucket)
 		gbps := f.Gbps(r)
+		bw := 0
+		if f.Duration(r) > 0 && f.Bytes(r) > 0 {
+			bw = 1
+		}
 		for _, sw := range f.Switches(r) {
-			a.cell(sw, bucket).add(1, gbps)
+			a.cell(sw, bucket).add(1, bw, gbps)
 		}
 	}
 }
@@ -326,7 +354,7 @@ func (a *SeriesAccum) Merge(b *SeriesAccum) {
 	}
 	for sw, cells := range b.perSwitch {
 		for bucket, c := range cells {
-			a.cell(sw, bucket).add(c.flows, c.sum)
+			a.cell(sw, bucket).add(c.flows, c.bw, c.sum)
 		}
 	}
 }
@@ -345,8 +373,9 @@ func (a *SeriesAccum) cell(sw flow.SwitchID, bucket time.Time) *seriesCell {
 	return c
 }
 
-func (c *seriesCell) add(flows int, sum float64) {
+func (c *seriesCell) add(flows, bw int, sum float64) {
 	c.flows += flows
+	c.bw += bw
 	c.sum += sum
 }
 
@@ -357,10 +386,15 @@ func (a *SeriesAccum) Series() map[flow.SwitchID][]SwitchPoint {
 	for sw, buckets := range a.perSwitch {
 		points := make([]SwitchPoint, 0, len(buckets))
 		for b, c := range buckets {
+			mean := 0.0
+			if c.bw > 0 {
+				mean = c.sum / float64(c.bw)
+			}
 			points = append(points, SwitchPoint{
 				Bucket:   b,
 				Flows:    c.flows,
-				MeanGbps: c.sum / float64(c.flows),
+				BWFlows:  c.bw,
+				MeanGbps: mean,
 			})
 		}
 		sort.Slice(points, func(i, j int) bool { return points[i].Bucket.Before(points[j].Bucket) })
@@ -379,7 +413,9 @@ func SwitchSeries(records []flow.Record, types map[flow.Pair]parallel.Type, cfg 
 
 // SwitchDiagnose inspects switch series bucket by bucket: bandwidth
 // degradation (k-sigma lower outlier across switches) and concurrent DP
-// flow limits.
+// flow limits. The bandwidth comparison covers only cells with measurable
+// bandwidth (BWFlows > 0) and, when Config.SwitchTier is set, runs within
+// each tier separately so leaves are never judged against spines.
 func SwitchDiagnose(series map[flow.SwitchID][]SwitchPoint, cfg Config) []Alert {
 	cfg = cfg.withDefaults()
 	// Re-index by bucket.
@@ -418,24 +454,47 @@ func SwitchDiagnose(series map[flow.SwitchID][]SwitchPoint, cfg Config) []Alert 
 				}
 			}
 		}
-		if len(cells) < cfg.MinSamples {
-			continue
+		// Partition the bucket's measurable cells into comparison tiers
+		// (one tier when no classifier is set), keeping the per-tier cell
+		// order sorted by switch id.
+		tierOf := func(sw flow.SwitchID) int { return 0 }
+		if cfg.SwitchTier != nil {
+			tierOf = cfg.SwitchTier
 		}
-		bws := make([]float64, len(cells))
-		for i, c := range cells {
-			bws[i] = c.point.MeanGbps
+		byTier := make(map[int][]cell)
+		tiers := make([]int, 0, 2)
+		for _, c := range cells {
+			if c.point.BWFlows == 0 {
+				continue // no measurable bandwidth to compare
+			}
+			tier := tierOf(c.sw)
+			if _, ok := byTier[tier]; !ok {
+				tiers = append(tiers, tier)
+			}
+			byTier[tier] = append(byTier[tier], c)
 		}
-		for i, c := range cells {
-			if bad, base := kSigmaOutlierLOO(bws, i, cfg.K, -1); bad {
-				alerts = append(alerts, Alert{
-					Kind:     AlertSwitchBandwidth,
-					Switch:   c.sw,
-					Time:     b,
-					Value:    bws[i],
-					Baseline: base,
-					Detail: fmt.Sprintf("switch %v DP bandwidth %.1f Gb/s vs peer baseline %.1f Gb/s",
-						c.sw, bws[i], base),
-				})
+		sort.Ints(tiers)
+		for _, tier := range tiers {
+			peers := byTier[tier]
+			if len(peers) < cfg.MinSamples {
+				continue
+			}
+			bws := make([]float64, len(peers))
+			for i, c := range peers {
+				bws[i] = c.point.MeanGbps
+			}
+			for i, c := range peers {
+				if bad, base := kSigmaOutlierLOO(bws, i, cfg.K, -1); bad {
+					alerts = append(alerts, Alert{
+						Kind:     AlertSwitchBandwidth,
+						Switch:   c.sw,
+						Time:     b,
+						Value:    bws[i],
+						Baseline: base,
+						Detail: fmt.Sprintf("switch %v DP bandwidth %.1f Gb/s vs peer baseline %.1f Gb/s",
+							c.sw, bws[i], base),
+					})
+				}
 			}
 		}
 	}

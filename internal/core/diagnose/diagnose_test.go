@@ -257,6 +257,155 @@ func TestKSigmaOutlierLOO(t *testing.T) {
 	}
 }
 
+// TestKSigmaFloorAppliesToTinyVariance is the regression for the
+// inconsistent sigma floor: a near-constant population with tiny *nonzero*
+// variance used to skip the 1%-of-mean floor (it applied only when
+// sd < 1e-12) and alert on sub-percent noise.
+func TestKSigmaFloorAppliesToTinyVariance(t *testing.T) {
+	xs := []float64{100, 100 + 1e-6, 100 - 1e-6, 100, 100 + 2e-6, 100 - 2e-6, 99.9}
+	if bad, _ := kSigmaOutlierLOO(xs, 6, 3, -1); bad {
+		t.Error("0.1% deviation against a near-constant baseline flagged (sigma floor not applied)")
+	}
+	// A real degradation still clears the floored threshold.
+	xs[6] = 90
+	if bad, _ := kSigmaOutlierLOO(xs, 6, 3, -1); !bad {
+		t.Error("10% degradation not flagged with floored sigma")
+	}
+}
+
+// TestSwitchDiagnoseQuietOnNearConstantBandwidth drives the floor fix
+// through SwitchDiagnose: eight switches within ±0.05% of each other must
+// not raise bandwidth alerts.
+func TestSwitchDiagnoseQuietOnNearConstantBandwidth(t *testing.T) {
+	var records []flow.Record
+	id := uint64(0)
+	for sw := flow.SwitchID(0); sw < 8; sw++ {
+		id++
+		gbps := 150 + float64(sw)*0.01 // 150.00 .. 150.07
+		records = append(records, dpRecord(id, time.Duration(sw)*time.Millisecond, gbps, sw))
+	}
+	series := SwitchSeries(records, dpTypes(), Config{})
+	if alerts := SwitchDiagnose(series, Config{}); len(alerts) != 0 {
+		t.Errorf("near-constant switch population raised %d alerts: %+v", len(alerts), alerts)
+	}
+}
+
+// zeroDurRecord is a degenerate collector export: a flow observed with no
+// measurable duration (single packet), carrying bytes but Gbps() == 0.
+func zeroDurRecord(id uint64, at time.Duration, switches ...flow.SwitchID) flow.Record {
+	return flow.Record{
+		ID: id, Start: epoch.Add(at), Duration: 0,
+		Src: 1, Dst: 2, Bytes: 1500, Switches: switches,
+	}
+}
+
+// TestSwitchSeriesExcludesZeroDurationFromMean is the regression for the
+// bandwidth-mean skew: zero-duration records count as flows but must not
+// enter the bandwidth mean.
+func TestSwitchSeriesExcludesZeroDurationFromMean(t *testing.T) {
+	records := []flow.Record{
+		dpRecord(1, 0, 100, 3),
+		dpRecord(2, time.Second, 120, 3),
+		zeroDurRecord(3, 2*time.Second, 3),
+		zeroDurRecord(4, 3*time.Second, 3),
+	}
+	series := SwitchSeries(records, dpTypes(), Config{Bucket: time.Minute})
+	pt := series[3][0]
+	if pt.Flows != 4 || pt.BWFlows != 2 {
+		t.Errorf("point = %+v, want 4 flows of which 2 measurable", pt)
+	}
+	if pt.MeanGbps < 109 || pt.MeanGbps > 111 {
+		t.Errorf("MeanGbps = %v, want ≈ 110 (zero-duration rows excluded)", pt.MeanGbps)
+	}
+
+	// The frame path must apply the identical rule.
+	accum := NewSeriesAccum(Config{Bucket: time.Minute})
+	accum.AddView(flow.NewFrame(records).All(), dpTypes())
+	if got := accum.Series()[3][0]; got != pt {
+		t.Errorf("AddView point = %+v, want %+v (Add/AddView drifted)", got, pt)
+	}
+}
+
+// TestSwitchDiagnoseHealthyWithZeroDurationRows: a healthy switch whose
+// bucket contains some zero-duration rows used to see its mean dragged
+// toward zero and get falsely flagged as degraded.
+func TestSwitchDiagnoseHealthyWithZeroDurationRows(t *testing.T) {
+	var records []flow.Record
+	id := uint64(0)
+	for sw := flow.SwitchID(0); sw < 8; sw++ {
+		for k := 0; k < 4; k++ {
+			id++
+			records = append(records, dpRecord(id, time.Duration(k)*time.Second, 150+float64(k), sw))
+		}
+	}
+	// Switch 7 additionally carries single-packet exports; its true
+	// per-flow bandwidth matches its peers.
+	for k := 0; k < 12; k++ {
+		id++
+		records = append(records, zeroDurRecord(id, time.Duration(k)*time.Second, 7))
+	}
+	series := SwitchSeries(records, dpTypes(), Config{})
+	if alerts := SwitchDiagnose(series, Config{}); len(alerts) != 0 {
+		t.Errorf("healthy switch with zero-duration rows flagged: %+v", alerts)
+	}
+}
+
+// TestSwitchDiagnoseStratifiedByTier is the regression for the tier-blind
+// peer comparison: a small low-bandwidth tier (leaves) pooled with a large
+// high-bandwidth tier (spines) reads as degraded, even though every leaf
+// is healthy. A tier classifier keeps the comparison within tiers.
+func TestSwitchDiagnoseStratifiedByTier(t *testing.T) {
+	// Switches 0-1 are leaves at ~40 Gb/s per flow; 10-19 are spines at
+	// ~150 Gb/s. All healthy for their tier.
+	var records []flow.Record
+	id := uint64(0)
+	add := func(sw flow.SwitchID, gbps float64) {
+		id++
+		records = append(records, dpRecord(id, time.Duration(id)*time.Millisecond, gbps, sw))
+	}
+	for sw := flow.SwitchID(0); sw < 2; sw++ {
+		add(sw, 40+float64(sw))
+	}
+	for sw := flow.SwitchID(10); sw < 20; sw++ {
+		add(sw, 150+float64(sw-10))
+	}
+	series := SwitchSeries(records, dpTypes(), Config{})
+
+	pooled := SwitchDiagnose(series, Config{})
+	leafFlagged := false
+	for _, a := range pooled {
+		if a.Switch < 2 {
+			leafFlagged = true
+		}
+	}
+	if !leafFlagged {
+		t.Fatal("fixture too weak: pooled comparison no longer misflags the leaf tier")
+	}
+
+	tier := func(sw flow.SwitchID) int {
+		if sw >= 10 {
+			return 1
+		}
+		return 0
+	}
+	if alerts := SwitchDiagnose(series, Config{SwitchTier: tier}); len(alerts) != 0 {
+		t.Errorf("stratified comparison still alerts: %+v", alerts)
+	}
+
+	// A genuinely degraded spine is still caught inside its tier.
+	add(15, 30) // second flow on spine 15, dragging its mean to ~92
+	series = SwitchSeries(records, dpTypes(), Config{})
+	var degraded []Alert
+	for _, a := range SwitchDiagnose(series, Config{SwitchTier: tier}) {
+		if a.Kind == AlertSwitchBandwidth {
+			degraded = append(degraded, a)
+		}
+	}
+	if len(degraded) != 1 || degraded[0].Switch != 15 {
+		t.Errorf("degraded spine alerts = %+v, want exactly switch 15", degraded)
+	}
+}
+
 func TestAlertKindString(t *testing.T) {
 	kinds := map[AlertKind]string{
 		AlertCrossStep:       "cross-step",

@@ -43,11 +43,15 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 // keyed by JobID rather than by cluster index, so a job keeps its identity
 // while other tenants come and go around it.
 //
-// Matching is deterministic: clusters are processed in recognition order
-// (smallest endpoint first) and each greedily claims the unclaimed tracked
-// job with the highest endpoint-set Jaccard similarity (ties broken by
-// lowest JobID). A Registry is not safe for concurrent use; the monitor
-// drives it from the in-order report emission path.
+// Matching is deterministic and globally best-first: every
+// (cluster, tracked job) pair at or above the similarity threshold is a
+// candidate, candidates are taken in descending similarity order (ties
+// broken by lowest cluster index, then lowest JobID), and each cluster and
+// job is claimed at most once. Processing clusters in recognition order
+// instead used to let an early cluster steal a job that a later cluster
+// matched strictly better, permanently swapping the two identities. A
+// Registry is not safe for concurrent use; the monitor drives it from the
+// in-order report emission path.
 type Registry struct {
 	cfg  RegistryConfig
 	next JobID
@@ -89,25 +93,49 @@ func (r *Registry) FirstSeen(id JobID) time.Time {
 // are dropped.
 func (r *Registry) Assign(seq int, at time.Time, clusters []Cluster) []JobID {
 	ids := make([]JobID, len(clusters))
-	claimed := make([]bool, len(r.jobs))
+	// Globally best-first matching: rank every above-threshold
+	// (cluster, job) candidate by similarity and claim pairs in that
+	// order, so a weak early cluster can never steal a job from a later
+	// cluster that matches it strictly better.
+	type candidate struct {
+		sim    float64
+		ci, ji int
+	}
+	var cands []candidate
 	for ci, c := range clusters {
-		best, bestSim := -1, 0.0
 		for ji := range r.jobs {
-			if claimed[ji] {
-				continue
-			}
-			// r.jobs is ascending by id (append order, order-preserving
-			// expiry), so strict > keeps the lowest id on similarity ties.
-			if sim := sortedJaccard(c.Endpoints, r.jobs[ji].endpoints); sim > bestSim {
-				best, bestSim = ji, sim
+			if sim := sortedJaccard(c.Endpoints, r.jobs[ji].endpoints); sim >= r.cfg.MatchJaccard {
+				cands = append(cands, candidate{sim, ci, ji})
 			}
 		}
-		if best >= 0 && bestSim >= r.cfg.MatchJaccard {
-			claimed[best] = true
-			j := &r.jobs[best]
-			j.endpoints = append(j.endpoints[:0], c.Endpoints...)
-			j.lastSeq = seq
-			ids[ci] = j.id
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		a, b := cands[x], cands[y]
+		if a.sim != b.sim {
+			return a.sim > b.sim
+		}
+		if a.ci != b.ci {
+			return a.ci < b.ci
+		}
+		// r.jobs is ascending by id (append order, order-preserving
+		// expiry), so index order keeps the lowest id on full ties.
+		return a.ji < b.ji
+	})
+	matched := make([]bool, len(clusters))
+	claimed := make([]bool, len(r.jobs))
+	for _, cd := range cands {
+		if matched[cd.ci] || claimed[cd.ji] {
+			continue
+		}
+		matched[cd.ci] = true
+		claimed[cd.ji] = true
+		j := &r.jobs[cd.ji]
+		j.endpoints = append(j.endpoints[:0], clusters[cd.ci].Endpoints...)
+		j.lastSeq = seq
+		ids[cd.ci] = j.id
+	}
+	for ci, c := range clusters {
+		if matched[ci] {
 			continue
 		}
 		r.next++
@@ -117,7 +145,6 @@ func (r *Registry) Assign(seq int, at time.Time, clusters []Cluster) []JobID {
 			firstSeen: at,
 			lastSeq:   seq,
 		})
-		claimed = append(claimed, true)
 		ids[ci] = r.next
 	}
 	// Expire jobs that have gone unmatched too long.

@@ -85,6 +85,57 @@ func TestRegistryDeterministicTieBreak(t *testing.T) {
 	}
 }
 
+// TestRegistryNoMatchSteal is the regression for greedy in-order matching:
+// an early cluster with a weak above-threshold similarity must not claim a
+// tracked job that a later cluster matches strictly better — that swapped
+// the two identities permanently.
+func TestRegistryNoMatchSteal(t *testing.T) {
+	r := NewRegistry(RegistryConfig{MatchJaccard: 0.15})
+	at := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+	ids := r.Assign(0, at, []Cluster{cl(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)})
+	if !reflect.DeepEqual(ids, []JobID{1}) {
+		t.Fatalf("window 0 ids = %v, want [1]", ids)
+	}
+	// Window 1 splits: cluster 0 keeps 3 of job 1's endpoints plus
+	// newcomers (Jaccard 3/17 ≈ 0.18, above threshold); cluster 1 holds
+	// the other 7 (Jaccard 7/10 = 0.7). Greedy in-order matching let
+	// cluster 0 steal job 1.
+	ids = r.Assign(1, at.Add(time.Minute), []Cluster{
+		cl(1, 2, 3, 30, 31, 32, 33, 34, 35, 36),
+		cl(4, 5, 6, 7, 8, 9, 10),
+	})
+	if !reflect.DeepEqual(ids, []JobID{2, 1}) {
+		t.Errorf("window 1 ids = %v, want [2 1] (best match keeps the identity)", ids)
+	}
+}
+
+// TestRegistryUnambiguousMatchesUnchanged: when every cluster's only
+// above-threshold match is its own tracked job, best-first matching
+// assigns exactly what the old per-cluster greedy pass did, across
+// several windows of fluctuating membership.
+func TestRegistryUnambiguousMatchesUnchanged(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	at := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+	windows := [][]Cluster{
+		{cl(1, 2, 3, 4), cl(10, 11, 12, 13), cl(20, 21, 22)},
+		{cl(1, 2, 3), cl(10, 12, 13), cl(20, 21, 22)},    // partial observations
+		{cl(1, 2, 3, 4), cl(20, 22), cl(10, 11, 12, 13)}, // reordered clusters
+		{cl(5, 6, 7), cl(1, 2, 4), cl(10, 11, 12, 13)},   // newcomer, one job absent
+	}
+	want := [][]JobID{
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 3, 2},
+		{4, 1, 2},
+	}
+	for w, clusters := range windows {
+		ids := r.Assign(w, at.Add(time.Duration(w)*time.Minute), clusters)
+		if !reflect.DeepEqual(ids, want[w]) {
+			t.Fatalf("window %d ids = %v, want %v", w, ids, want[w])
+		}
+	}
+}
+
 func TestSortedJaccard(t *testing.T) {
 	cases := []struct {
 		a, b []flow.Addr

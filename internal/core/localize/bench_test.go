@@ -1,0 +1,72 @@
+package localize
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// BenchmarkLocalize scores a realistic window: 3 jobs × 16 ranks, 30k
+// flows over 3-hop paths on a 12-leaf/8-spine fabric, one degraded spine
+// implicating roughly a third of the traffic via a switch alert plus two
+// rank alerts.
+func BenchmarkLocalize(b *testing.B) {
+	const (
+		jobs     = 3
+		ranks    = 16
+		perPair  = 40
+		leaves   = 12
+		spines   = 8
+		badSpine = flow.SwitchID(leaves + 2)
+	)
+	start := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	var inputs []Job
+	id := uint64(0)
+	for j := 0; j < jobs; j++ {
+		var job Job
+		job.Types = make(map[flow.Pair]parallel.Type)
+		base := flow.Addr(j * ranks)
+		for r := 0; r < ranks; r++ {
+			src := base + flow.Addr(r)
+			dst := base + flow.Addr((r+1)%ranks)
+			job.Types[flow.MakePair(src, dst)] = parallel.TypeDP
+			srcLeaf := flow.SwitchID(int(src) % leaves)
+			dstLeaf := flow.SwitchID(int(dst) % leaves)
+			for k := 0; k < perPair; k++ {
+				id++
+				spine := flow.SwitchID(leaves + (int(id) % spines))
+				gbps := 120.0
+				if spine == badSpine {
+					gbps = 15
+				}
+				job.Records = append(job.Records, flow.Record{
+					ID: id, Start: start.Add(time.Duration(id) * time.Millisecond),
+					Duration: time.Second, Src: src, Dst: dst,
+					Bytes:    int64(gbps * 1e9 / 8),
+					Switches: []flow.SwitchID{srcLeaf, spine, dstLeaf},
+				})
+			}
+		}
+		job.DPGroups = [][]flow.Addr{nil}
+		for r := 0; r < ranks; r++ {
+			job.DPGroups[0] = append(job.DPGroups[0], base+flow.Addr(r))
+		}
+		job.Alerts = []diagnose.Alert{
+			{Kind: diagnose.AlertCrossStep, Rank: base},
+			{Kind: diagnose.AlertCrossStep, Rank: base + 5},
+		}
+		inputs = append(inputs, job)
+	}
+	switchAlerts := []diagnose.Alert{{Kind: diagnose.AlertSwitchBandwidth, Switch: badSpine}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Localize(inputs, switchAlerts, Config{}); len(s) == 0 {
+			b.Fatal("no suspects")
+		}
+	}
+}

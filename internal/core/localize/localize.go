@@ -1,0 +1,516 @@
+// Package localize turns one analysis window's multi-dimensional alerts
+// into a ranked list of suspect fabric components — the step from "which
+// symptom" to "which switch, link or host", the answer a platform operator
+// actually needs.
+//
+// # Evidence model
+//
+// The detectors name symptoms, not causes: a cross-step alert names a slow
+// rank, a cross-group alert a slow DP group, a switch-bandwidth alert a
+// switch whose per-flow mean dipped. Each alert implicates a set of flow
+// records — the rank's flows, the group members' DP flows, the switch's
+// rows — and every flow covers a set of physical components: the switches
+// on its recorded path, the links between consecutive path hops, and its
+// two endpoint NICs. Localization is spectrum-style suspiciousness scoring
+// over that coverage matrix (the program-spectrum technique FLARE-class
+// systems apply to cluster telemetry): a component covered by many
+// implicated flows and few healthy ones is suspicious.
+//
+// Two sub-scores multiply into Suspect.Score:
+//
+//   - Coverage, the Ochiai coefficient ef/sqrt(F·(ef+ep)) where ef counts
+//     implicated flows covering the component, F all implicated flows and
+//     ep healthy flows covering it. It is 1 exactly when the component
+//     covers every implicated flow and no healthy one.
+//   - Contrast, the bandwidth ratio between the implicated flows that
+//     avoid the component and those that cover it, clamped to
+//     [1/MaxContrast, MaxContrast]. Coverage alone cannot separate the
+//     members of a slow DP group (a group alert implicates them all
+//     symmetrically); the member whose flows are actually slow is the one
+//     behind the degraded NIC or link. Link components additionally
+//     contrast against their endpoint switches' implicated flows: a
+//     switch-bandwidth alert implicates exactly the switch's rows, so a
+//     degraded link under a healthy-but-flagged switch is distinguishable
+//     only by its flows being slow relative to the switch's other edges —
+//     while under a genuinely degraded switch every edge is equally slow
+//     and the switch keeps the higher score; conversely, a link that is
+//     not anomalous relative to a higher-scoring endpoint switch is
+//     dropped from the ranking — the switch already explains it. Host
+//     components likewise contrast each direction separately — a failing
+//     transmit optic slows only outgoing flows, and averaging them with
+//     the host's healthy receives hides it — with a discount on the
+//     receive direction, so the transmitting end of a slow flow outranks
+//     its receiver, which observes the very same flow.
+//
+// # Determinism discipline
+//
+// Localization runs on the merged report, after the per-job fan-out has
+// been folded back in job order: flows are visited in (job, start, id)
+// order and each flow's components in path order, so every per-component
+// float accumulator receives its contributions in one fixed sequence, and
+// the final ranking sorts by (score, kind, identity). The suspect list is
+// therefore bit-identical for any analysis worker count, any
+// within-lateness arrival permutation, and any archive replay of the same
+// window.
+package localize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// ComponentKind classifies a suspect component.
+type ComponentKind uint8
+
+// Component kinds. The order is also the ranking tie-break order:
+// switches before links before hosts.
+const (
+	ComponentSwitch ComponentKind = iota + 1
+	ComponentLink
+	ComponentHost
+)
+
+func (k ComponentKind) String() string {
+	switch k {
+	case ComponentSwitch:
+		return "switch"
+	case ComponentLink:
+		return "link"
+	case ComponentHost:
+		return "host"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", uint8(k))
+	}
+}
+
+// Component identifies one physical fabric element a fault can live on: a
+// switch, a directed inter-switch link (a consecutive switch-path edge —
+// directed because fabrics degrade per direction: a failing transmit optic
+// slows leaf→spine while spine→leaf stays clean, and folding the healthy
+// reverse direction into the component would dilute its slowness
+// evidence), or a host NIC. Only the fields of the Kind are set; the
+// struct is comparable and keys cross-window continuity.
+type Component struct {
+	Kind ComponentKind
+	// Switch is the switch identity for ComponentSwitch.
+	Switch flow.SwitchID
+	// A, B are the link's switch endpoints for ComponentLink, in
+	// traversal order (A → B).
+	A, B flow.SwitchID
+	// Host is the NIC endpoint for ComponentHost.
+	Host flow.Addr
+}
+
+// SwitchComponent returns the component of one switch.
+func SwitchComponent(sw flow.SwitchID) Component {
+	return Component{Kind: ComponentSwitch, Switch: sw}
+}
+
+// LinkComponent returns the component of the directed link from a to b.
+func LinkComponent(a, b flow.SwitchID) Component {
+	return Component{Kind: ComponentLink, A: a, B: b}
+}
+
+// HostComponent returns the component of one endpoint NIC/host.
+func HostComponent(a flow.Addr) Component {
+	return Component{Kind: ComponentHost, Host: a}
+}
+
+func (c Component) String() string {
+	switch c.Kind {
+	case ComponentSwitch:
+		return "switch " + c.Switch.String()
+	case ComponentLink:
+		return "link " + c.A.String() + "->" + c.B.String()
+	case ComponentHost:
+		return "host " + c.Host.String()
+	default:
+		return c.Kind.String()
+	}
+}
+
+// less orders components by (kind, identity) — the deterministic ranking
+// tie-break.
+func (c Component) less(o Component) bool {
+	if c.Kind != o.Kind {
+		return c.Kind < o.Kind
+	}
+	switch c.Kind {
+	case ComponentSwitch:
+		return c.Switch < o.Switch
+	case ComponentLink:
+		if c.A != o.A {
+			return c.A < o.A
+		}
+		return c.B < o.B
+	default:
+		return c.Host < o.Host
+	}
+}
+
+// Suspect is one ranked root-cause candidate.
+type Suspect struct {
+	Component Component
+	// Score is Coverage × Contrast; suspects are ranked by it, ties
+	// broken by (kind, identity).
+	Score float64
+	// Coverage is the Ochiai spectrum score of the component over
+	// implicated vs healthy flows.
+	Coverage float64
+	// Contrast is the clamped bandwidth ratio of implicated flows
+	// avoiding the component to implicated flows covering it (> 1 means
+	// the covering flows are slower than their implicated peers).
+	Contrast float64
+	// Implicated and Healthy count the alert-implicated and healthy
+	// flows covering the component.
+	Implicated, Healthy int
+	// FirstSeen and Windows are cross-window continuity, stamped by the
+	// monitor's suspect tracker (zero outside the monitor): the window
+	// start at which this component first became a suspect and the count
+	// of consecutive windows it has stayed one.
+	FirstSeen time.Time
+	Windows   int
+}
+
+// Config tunes localization.
+type Config struct {
+	// MaxSuspects bounds the ranked list. Default 8.
+	MaxSuspects int
+	// MinScore drops components scoring below it. Default 0.02.
+	MinScore float64
+	// MaxContrast clamps the bandwidth-contrast factor (and its
+	// reciprocal). Default 16.
+	MaxContrast float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSuspects <= 0 {
+		c.MaxSuspects = 8
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 0.02
+	}
+	if c.MaxContrast <= 1 {
+		c.MaxContrast = 16
+	}
+	return c
+}
+
+// receiveDiscount scales the receive-direction host contrast: receiving a
+// slow flow is weaker evidence of a local fault than sending one (the
+// sender's transmit path, or the fabric between, is the likelier culprit).
+const receiveDiscount = 0.6
+
+// linkDominanceContrast is the minimum sibling contrast a link suspect
+// must show against a higher-scoring endpoint switch to stay in the
+// ranking: below it, the link's flows are no slower than the switch's
+// other edges, so the switch is the better explanation.
+const linkDominanceContrast = 2
+
+// Job is one recognized job's analysis output, the per-job slice of the
+// report the localizer consumes.
+type Job struct {
+	// Records are the job's flow records in (start, id) order, switch
+	// paths included.
+	Records []flow.Record
+	// Types classifies the job's pairs (PP vs DP).
+	Types map[flow.Pair]parallel.Type
+	// DPGroups are the job's DP groups; cross-group alerts index them.
+	DPGroups [][]flow.Addr
+	// Alerts are the job-scoped alerts (cross-step, cross-group).
+	Alerts []diagnose.Alert
+}
+
+// compStat accumulates one component's spectrum counters.
+type compStat struct {
+	implicated int     // implicated flows covering the component
+	healthy    int     // healthy flows covering the component
+	implSum    float64 // Gbps sum of measurable implicated covering flows
+	implBW     int     // count behind implSum
+	// Directional splits of (implSum, implBW), tracked for host
+	// components: outgoing = the host is the flow's source.
+	outSum, inSum float64
+	outBW, inBW   int
+}
+
+// Localize converts one window's alerts plus its flows' switch paths into
+// a ranked suspect list. jobs must be in report order (smallest endpoint
+// first) with records in (start, id) order — Localize preserves that order
+// in its float accumulation, which is what makes the result bit-identical
+// across worker counts. switchAlerts are the window's fabric-level alerts.
+// It returns nil when no alert implicates any flow.
+func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
+	cfg = cfg.withDefaults()
+
+	// Deduplicate alerts into implication targets: a rank slow in ten
+	// steps implicates its flows once, not ten times.
+	flaggedSwitches := make(map[flow.SwitchID]bool)
+	for _, a := range switchAlerts {
+		switch a.Kind {
+		case diagnose.AlertSwitchBandwidth, diagnose.AlertSwitchFlowCount:
+			flaggedSwitches[a.Switch] = true
+		}
+	}
+	type jobTargets struct {
+		ranks   map[flow.Addr]bool
+		members map[flow.Addr]bool // union of flagged DP groups' members
+	}
+	targets := make([]jobTargets, len(jobs))
+	any := len(flaggedSwitches) > 0
+	for ji, job := range jobs {
+		t := jobTargets{ranks: make(map[flow.Addr]bool), members: make(map[flow.Addr]bool)}
+		for _, a := range job.Alerts {
+			switch a.Kind {
+			case diagnose.AlertCrossStep:
+				t.ranks[a.Rank] = true
+			case diagnose.AlertCrossGroup:
+				if a.Group >= 0 && a.Group < len(job.DPGroups) {
+					for _, m := range job.DPGroups[a.Group] {
+						t.members[m] = true
+					}
+				}
+			case diagnose.AlertSwitchBandwidth, diagnose.AlertSwitchFlowCount:
+				flaggedSwitches[a.Switch] = true
+				any = true
+			}
+		}
+		if len(t.ranks) > 0 || len(t.members) > 0 {
+			any = true
+		}
+		targets[ji] = t
+	}
+	if !any {
+		return nil
+	}
+
+	// One pass over every flow in (job, start, id) order: decide
+	// implication, then fold the flow into each of its components'
+	// counters in path order. Fixed iteration order fixes every float
+	// accumulator's summation order.
+	stats := make(map[Component]*compStat)
+	stat := func(c Component) *compStat {
+		s := stats[c]
+		if s == nil {
+			s = &compStat{}
+			stats[c] = s
+		}
+		return s
+	}
+	var (
+		implRows int     // F: all implicated flows
+		implSum  float64 // Gbps sum of measurable implicated flows
+		implBW   int
+		comps    []Component // scratch, per flow
+	)
+	for ji := range jobs {
+		job := &jobs[ji]
+		t := targets[ji]
+		for _, r := range job.Records {
+			implicated := t.ranks[r.Src] || t.ranks[r.Dst]
+			if !implicated && len(t.members) > 0 && t.members[r.Src] && t.members[r.Dst] &&
+				job.Types[r.Pair()] == parallel.TypeDP {
+				implicated = true
+			}
+			if !implicated && len(flaggedSwitches) > 0 {
+				for _, sw := range r.Switches {
+					if flaggedSwitches[sw] {
+						implicated = true
+						break
+					}
+				}
+			}
+
+			comps = comps[:0]
+			for i, sw := range r.Switches {
+				comps = append(comps, SwitchComponent(sw))
+				if i > 0 {
+					comps = append(comps, LinkComponent(r.Switches[i-1], sw))
+				}
+			}
+
+			gbps := r.Gbps()
+			measurable := r.Duration > 0 && r.Bytes > 0
+			if implicated {
+				implRows++
+				if measurable {
+					implSum += gbps
+					implBW++
+				}
+			}
+			fold := func(s *compStat) {
+				if implicated {
+					s.implicated++
+					if measurable {
+						s.implSum += gbps
+						s.implBW++
+					}
+				} else {
+					s.healthy++
+				}
+			}
+			for _, c := range dedupComponents(comps) {
+				fold(stat(c))
+			}
+			src := stat(HostComponent(r.Src))
+			fold(src)
+			if implicated && measurable {
+				src.outSum += gbps
+				src.outBW++
+			}
+			if r.Dst != r.Src {
+				dst := stat(HostComponent(r.Dst))
+				fold(dst)
+				if implicated && measurable {
+					dst.inSum += gbps
+					dst.inBW++
+				}
+			}
+		}
+	}
+	if implRows == 0 {
+		return nil
+	}
+
+	// Score the components touched by implicated flows, in (kind,
+	// identity) order — each component's score depends only on its own
+	// counters and the global totals, but the fixed fold order keeps the
+	// pipeline reproducible end to end.
+	ordered := make([]Component, 0, len(stats))
+	for c, s := range stats {
+		if s.implicated > 0 {
+			ordered = append(ordered, c)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].less(ordered[j]) })
+
+	// contrastOf is the slowness ratio of a reference flow set's mean
+	// bandwidth to the component's covering mean (1 when either side is
+	// empty; MaxContrast when the covering flows are fully stalled).
+	contrastOf := func(coverSum float64, coverN int, restSum float64, restN int) float64 {
+		if coverN == 0 || restN <= 0 {
+			return 1
+		}
+		cover := coverSum / float64(coverN)
+		if cover <= 0 {
+			return cfg.MaxContrast
+		}
+		return (restSum / float64(restN)) / cover
+	}
+	suspects := make([]Suspect, 0, len(ordered))
+	scores := make(map[Component]float64, len(ordered))
+	sibling := make(map[Component][2]float64) // link → per-endpoint sibling contrast
+	for _, c := range ordered {
+		s := stats[c]
+		coverage := float64(s.implicated) /
+			math.Sqrt(float64(implRows)*float64(s.implicated+s.healthy))
+		contrast := contrastOf(s.implSum, s.implBW, implSum-s.implSum, implBW-s.implBW)
+		switch c.Kind {
+		case ComponentLink:
+			// Sibling contrast: compare the link's flows against the
+			// other implicated flows of each endpoint switch.
+			var sib [2]float64
+			for i, sw := range [2]flow.SwitchID{c.A, c.B} {
+				sib[i] = 1
+				if p := stats[SwitchComponent(sw)]; p != nil {
+					sib[i] = contrastOf(s.implSum, s.implBW, p.implSum-s.implSum, p.implBW-s.implBW)
+				}
+				if sib[i] > contrast {
+					contrast = sib[i]
+				}
+			}
+			sibling[c] = sib
+		case ComponentHost:
+			// Directional contrast, receive side discounted (the sending
+			// end of a slow flow is the likelier culprit).
+			rest, restN := implSum-s.implSum, implBW-s.implBW
+			if out := contrastOf(s.outSum, s.outBW, rest, restN); out > contrast {
+				contrast = out
+			}
+			if in := receiveDiscount * contrastOf(s.inSum, s.inBW, rest, restN); in > contrast {
+				contrast = in
+			}
+		}
+		if contrast > cfg.MaxContrast {
+			contrast = cfg.MaxContrast
+		}
+		if contrast < 1/cfg.MaxContrast {
+			contrast = 1 / cfg.MaxContrast
+		}
+		score := coverage * contrast
+		if score < cfg.MinScore {
+			continue
+		}
+		scores[c] = score
+		suspects = append(suspects, Suspect{
+			Component:  c,
+			Score:      score,
+			Coverage:   coverage,
+			Contrast:   contrast,
+			Implicated: s.implicated,
+			Healthy:    s.healthy,
+		})
+	}
+	// Dominance: a link that is no slower than a switch's other edges,
+	// under that switch scoring higher, adds nothing over the switch —
+	// every flow of the link is one of the switch's flows.
+	kept := suspects[:0]
+	for _, s := range suspects {
+		if s.Component.Kind == ComponentLink {
+			sib := sibling[s.Component]
+			dominated := false
+			for i, sw := range [2]flow.SwitchID{s.Component.A, s.Component.B} {
+				if sib[i] >= linkDominanceContrast {
+					continue
+				}
+				if swScore, ok := scores[SwitchComponent(sw)]; ok && swScore > s.Score {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+		}
+		kept = append(kept, s)
+	}
+	suspects = kept
+	sort.SliceStable(suspects, func(i, j int) bool {
+		if suspects[i].Score != suspects[j].Score {
+			return suspects[i].Score > suspects[j].Score
+		}
+		return suspects[i].Component.less(suspects[j].Component)
+	})
+	if len(suspects) > cfg.MaxSuspects {
+		suspects = suspects[:cfg.MaxSuspects]
+	}
+	if len(suspects) == 0 {
+		return nil
+	}
+	return suspects
+}
+
+// dedupComponents removes duplicates in place, preserving first-seen
+// order. Paths are short (a handful of hops), so the quadratic scan beats
+// a map.
+func dedupComponents(comps []Component) []Component {
+	out := comps[:0]
+	for _, c := range comps {
+		dup := false
+		for _, seen := range out {
+			if seen == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

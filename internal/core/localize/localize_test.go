@@ -1,0 +1,258 @@
+package localize
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/parallel"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+var epoch = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// rec builds one flow record with the given bandwidth (Gb/s) and path.
+func rec(id uint64, src, dst flow.Addr, gbps float64, switches ...flow.SwitchID) flow.Record {
+	dur := time.Second
+	return flow.Record{
+		ID: id, Start: epoch.Add(time.Duration(id) * time.Millisecond), Duration: dur,
+		Src: src, Dst: dst, Bytes: int64(gbps * 1e9 / 8 * dur.Seconds()),
+		Switches: switches,
+	}
+}
+
+func dpTypes(pairs ...flow.Pair) map[flow.Pair]parallel.Type {
+	out := make(map[flow.Pair]parallel.Type, len(pairs))
+	for _, p := range pairs {
+		out[p] = parallel.TypeDP
+	}
+	return out
+}
+
+// TestLocalizeSwitchAlertNamesSwitch: a switch-bandwidth alert implicates
+// exactly the switch's rows, so the flagged switch covers every implicated
+// flow and no healthy one — Ochiai 1, strict top-1.
+func TestLocalizeSwitchAlertNamesSwitch(t *testing.T) {
+	job := Job{Records: []flow.Record{
+		rec(1, 1, 2, 20, 10, 20, 11), // through degraded 20
+		rec(2, 3, 4, 20, 12, 20, 13), // through degraded 20
+		rec(3, 5, 6, 150, 10, 21, 11),
+		rec(4, 7, 8, 150, 12, 21, 13),
+	}}
+	alert := diagnose.Alert{Kind: diagnose.AlertSwitchBandwidth, Switch: 20}
+	suspects := Localize([]Job{job}, []diagnose.Alert{alert}, Config{})
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	top := suspects[0]
+	if top.Component != SwitchComponent(20) {
+		t.Fatalf("top suspect = %v, want switch sw-20 (list %+v)", top.Component, suspects)
+	}
+	if top.Coverage != 1 || top.Implicated != 2 || top.Healthy != 0 {
+		t.Errorf("top = %+v, want coverage 1 over 2 implicated, 0 healthy", top)
+	}
+}
+
+// TestLocalizeCrossStepNamesRank: cross-step alerts implicate the rank's
+// flows; its NIC covers all of them and nothing else does without picking
+// up healthy flows.
+func TestLocalizeCrossStepNamesRank(t *testing.T) {
+	job := Job{
+		Records: []flow.Record{
+			rec(1, 1, 2, 100, 10, 20, 11),
+			rec(2, 1, 4, 100, 10, 21, 12),
+			rec(3, 3, 4, 100, 12, 20, 11), // healthy, shares switches
+			rec(4, 5, 2, 100, 10, 22, 11), // healthy, shares host 2's leaf
+		},
+		Alerts: []diagnose.Alert{
+			{Kind: diagnose.AlertCrossStep, Rank: 1, Step: 3},
+			{Kind: diagnose.AlertCrossStep, Rank: 1, Step: 4}, // dedup: same rank
+		},
+	}
+	suspects := Localize([]Job{job}, nil, Config{})
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	if suspects[0].Component != HostComponent(1) {
+		t.Fatalf("top suspect = %v, want host 10.0.0.1 (list %+v)", suspects[0].Component, suspects)
+	}
+}
+
+// TestLocalizeCrossGroupContrastFindsSlowMember: a cross-group alert
+// implicates every member's DP flows symmetrically; coverage cannot
+// separate them, but the member behind the degraded NIC is the one whose
+// flows are slow — the bandwidth contrast singles it out.
+func TestLocalizeCrossGroupContrastFindsSlowMember(t *testing.T) {
+	group := []flow.Addr{1, 2, 3}
+	job := Job{
+		Records: []flow.Record{
+			rec(1, 1, 2, 1, 10),   // member 1 degraded: slow
+			rec(2, 2, 3, 100, 10), // healthy ring segment
+			rec(3, 3, 1, 1, 10),   // slow (touches member 1)
+		},
+		Types:    dpTypes(flow.MakePair(1, 2), flow.MakePair(2, 3), flow.MakePair(3, 1)),
+		DPGroups: [][]flow.Addr{group},
+		Alerts:   []diagnose.Alert{{Kind: diagnose.AlertCrossGroup, Group: 0, GroupAnchor: 1}},
+	}
+	suspects := Localize([]Job{job}, nil, Config{})
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	if suspects[0].Component != HostComponent(1) {
+		t.Fatalf("top suspect = %v, want host of degraded member 1 (list %+v)",
+			suspects[0].Component, suspects)
+	}
+	if suspects[0].Contrast <= 1 {
+		t.Errorf("degraded member contrast = %v, want > 1", suspects[0].Contrast)
+	}
+}
+
+// TestLocalizeLinkFromConsecutiveHops: when the slow implicated flows
+// share one inter-switch edge, that link outranks the switches at either
+// end (which also carry healthy or fast implicated traffic).
+func TestLocalizeLinkFromConsecutiveHops(t *testing.T) {
+	group := []flow.Addr{1, 2, 3, 4, 5, 6}
+	job := Job{
+		Records: []flow.Record{
+			rec(1, 1, 2, 1, 10, 20, 11),   // over degraded link 10-20: slow
+			rec(2, 3, 4, 100, 10, 21, 11), // same leaf, healthy spine
+			rec(3, 5, 6, 100, 12, 20, 13), // same spine, healthy leaf
+		},
+		Types:    dpTypes(flow.MakePair(1, 2), flow.MakePair(3, 4), flow.MakePair(5, 6)),
+		DPGroups: [][]flow.Addr{group},
+		Alerts:   []diagnose.Alert{{Kind: diagnose.AlertCrossGroup, Group: 0, GroupAnchor: 1}},
+	}
+	suspects := Localize([]Job{job}, nil, Config{})
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	if want := LinkComponent(10, 20); suspects[0].Component != want {
+		t.Fatalf("top suspect = %v, want %v (list %+v)", suspects[0].Component, want, suspects)
+	}
+}
+
+// TestLocalizeSwitchAlertInsideJob: a switch-kind alert arriving through a
+// job's alert list (not the fabric-level parameter) must still implicate
+// the switch's rows — regression for the early nil return that ignored it.
+func TestLocalizeSwitchAlertInsideJob(t *testing.T) {
+	job := Job{
+		Records: []flow.Record{
+			rec(1, 1, 2, 20, 10, 20, 11),
+			rec(2, 3, 4, 150, 10, 21, 11),
+		},
+		Alerts: []diagnose.Alert{{Kind: diagnose.AlertSwitchBandwidth, Switch: 20}},
+	}
+	suspects := Localize([]Job{job}, nil, Config{})
+	if len(suspects) == 0 {
+		t.Fatal("job-carried switch alert produced no suspects")
+	}
+	if suspects[0].Component != SwitchComponent(20) {
+		t.Errorf("top suspect = %v, want switch sw-20", suspects[0].Component)
+	}
+}
+
+// TestLocalizeNoAlertsNoSuspects: a quiet window localizes to nothing.
+func TestLocalizeNoAlertsNoSuspects(t *testing.T) {
+	job := Job{Records: []flow.Record{rec(1, 1, 2, 100, 10)}}
+	if s := Localize([]Job{job}, nil, Config{}); s != nil {
+		t.Errorf("suspects = %+v, want nil without alerts", s)
+	}
+}
+
+// TestLocalizeDeterministicRanking: the suspect list is identical across
+// repeated runs (map iteration must not leak into scores or order).
+func TestLocalizeDeterministicRanking(t *testing.T) {
+	var records []flow.Record
+	for i := uint64(1); i <= 40; i++ {
+		src := flow.Addr(i % 8)
+		dst := flow.Addr((i + 3) % 8)
+		if src == dst {
+			dst++
+		}
+		gbps := 100.0
+		if i%5 == 0 {
+			gbps = 2
+		}
+		records = append(records, rec(i, src, dst, gbps,
+			flow.SwitchID(10+i%3), flow.SwitchID(20+i%4), flow.SwitchID(10+(i+1)%3)))
+	}
+	job := Job{
+		Records: records,
+		Alerts: []diagnose.Alert{
+			{Kind: diagnose.AlertCrossStep, Rank: 2},
+			{Kind: diagnose.AlertCrossStep, Rank: 5},
+		},
+	}
+	alert := []diagnose.Alert{{Kind: diagnose.AlertSwitchBandwidth, Switch: 21}}
+	want := Localize([]Job{job}, alert, Config{})
+	if len(want) < 3 {
+		t.Fatalf("suspects = %d, want a populated list", len(want))
+	}
+	for i := 0; i < 10; i++ {
+		if got := Localize([]Job{job}, alert, Config{}); !reflect.DeepEqual(want, got) {
+			t.Fatalf("run %d diverged:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+// TestLocalizeLimits: MaxSuspects truncates and MinScore filters.
+func TestLocalizeLimits(t *testing.T) {
+	job := Job{
+		Records: []flow.Record{
+			rec(1, 1, 2, 100, 10, 20, 11),
+			rec(2, 1, 4, 100, 12, 21, 13),
+		},
+		Alerts: []diagnose.Alert{{Kind: diagnose.AlertCrossStep, Rank: 1}},
+	}
+	all := Localize([]Job{job}, nil, Config{})
+	if len(all) < 2 {
+		t.Fatalf("suspects = %d, want several", len(all))
+	}
+	if got := Localize([]Job{job}, nil, Config{MaxSuspects: 1}); len(got) != 1 {
+		t.Errorf("MaxSuspects=1 returned %d suspects", len(got))
+	}
+	if got := Localize([]Job{job}, nil, Config{MinScore: 99}); got != nil {
+		t.Errorf("MinScore=99 returned %+v, want nil", got)
+	}
+}
+
+func TestTrackerContinuity(t *testing.T) {
+	tr := NewTracker()
+	at := epoch
+	w0 := []Suspect{{Component: SwitchComponent(7)}, {Component: HostComponent(3)}}
+	tr.Observe(at, w0)
+	if w0[0].Windows != 1 || !w0[0].FirstSeen.Equal(at) {
+		t.Fatalf("window 0 suspect = %+v, want windows 1 first seen %v", w0[0], at)
+	}
+
+	// Switch 7 persists, host 3 disappears.
+	w1 := []Suspect{{Component: SwitchComponent(7)}}
+	tr.Observe(at.Add(time.Minute), w1)
+	if w1[0].Windows != 2 || !w1[0].FirstSeen.Equal(at) {
+		t.Errorf("window 1 suspect = %+v, want windows 2 first seen %v", w1[0], at)
+	}
+	if tr.Open() != 1 {
+		t.Errorf("open = %d, want 1 (host suspect forgotten)", tr.Open())
+	}
+
+	// Host 3 reappears: a fresh run.
+	w2 := []Suspect{{Component: HostComponent(3)}}
+	tr.Observe(at.Add(2*time.Minute), w2)
+	if w2[0].Windows != 1 || !w2[0].FirstSeen.Equal(at.Add(2*time.Minute)) {
+		t.Errorf("reappeared suspect = %+v, want a new run", w2[0])
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	cases := map[string]Component{
+		"switch sw-3":     SwitchComponent(3),
+		"link sw-9->sw-2": LinkComponent(9, 2),
+		"host 10.0.0.5":   HostComponent(5),
+	}
+	for want, c := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", c, got, want)
+		}
+	}
+}

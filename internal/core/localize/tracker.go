@@ -1,0 +1,52 @@
+package localize
+
+import "time"
+
+// Tracker carries suspect identity across analysis windows, the
+// localization counterpart of diagnose.IncidentTracker: a component that
+// stays suspect window after window is one ongoing root-cause hypothesis,
+// keyed on its physical identity, not a fresh finding per window. It is
+// not safe for concurrent use; the monitor drives it from the in-order
+// report emission path, so its output is deterministic regardless of how
+// many windows analyze in parallel.
+type Tracker struct {
+	open map[Component]track
+}
+
+type track struct {
+	firstSeen time.Time
+	windows   int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{open: make(map[Component]track)}
+}
+
+// Observe folds one window's ranked suspects (at is the window start) into
+// the tracker and stamps each suspect's FirstSeen and Windows continuity
+// fields in place. Components absent from this window's list are
+// forgotten — a reappearance starts a new run.
+func (t *Tracker) Observe(at time.Time, suspects []Suspect) {
+	seen := make(map[Component]bool, len(suspects))
+	for i := range suspects {
+		c := suspects[i].Component
+		tr, ok := t.open[c]
+		if !ok {
+			tr = track{firstSeen: at}
+		}
+		tr.windows++
+		t.open[c] = tr
+		suspects[i].FirstSeen = tr.firstSeen
+		suspects[i].Windows = tr.windows
+		seen[c] = true
+	}
+	for c := range t.open {
+		if !seen[c] {
+			delete(t.open, c)
+		}
+	}
+}
+
+// Open returns the number of components currently suspect.
+func (t *Tracker) Open() int { return len(t.open) }

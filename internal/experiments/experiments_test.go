@@ -200,8 +200,46 @@ func TestAblationRingCount(t *testing.T) {
 	}
 }
 
+// TestLocalizationMatrixShortGrid runs the localization scenario matrix on
+// the reduced grid (the -short configuration: first load level only) and
+// holds it to the acceptance bar: every single-fault scenario must place
+// the injected component at rank 1 in at least 80% of the windows where
+// its corresponding alert fired, and the multi-fault scenario must recover
+// at least half its faults within the top K. Unlike the paper-figure
+// experiments this is not skipped in -short — it is the regression gate
+// for the localization engine.
+func TestLocalizationMatrixShortGrid(t *testing.T) {
+	res, err := Localization(context.Background(), Options{Scale: 0.3, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("reduced grid rows = %d, want 5 (one load level)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Load != "1x" {
+			t.Errorf("%s: reduced grid ran load %s, want 1x only", row.Scenario, row.Load)
+		}
+		if row.Score.Windows == 0 {
+			t.Errorf("%s: no window was scored (detectors never fired during the fault)", row.Scenario)
+			continue
+		}
+		if row.SingleFault {
+			if got := row.Score.Top1Rate(); got < 0.8 {
+				t.Errorf("%s: top-1 rate %.0f%% < 80%% over %d scored windows",
+					row.Scenario, 100*got, row.Score.Windows)
+			}
+		} else if got := row.Score.Recall(); got < 0.5 {
+			t.Errorf("%s: top-%d recall %.0f%% < 50%%", row.Scenario, res.K, 100*got)
+		}
+	}
+	if !strings.Contains(res.Report(), "root-cause localization") {
+		t.Error("report missing the localization table")
+	}
+}
+
 func TestRunnerRegistryComplete(t *testing.T) {
-	want := []string{"fig3", "table1", "fig4", "fig5", "diagnosis", "a1", "a2", "a3"}
+	want := []string{"fig3", "table1", "fig4", "fig5", "diagnosis", "localize", "a1", "a2", "a3"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("registry names = %v, want %v", got, want)
 	}

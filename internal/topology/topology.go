@@ -229,6 +229,50 @@ func (t *Topology) SwitchName(sw flow.SwitchID) string {
 	return fmt.Sprintf("leaf-%d", int(sw))
 }
 
+// LinkInfo locates one directed link in the fabric: its kind plus either
+// the NIC endpoint it serves (NIC links) or the leaf and spine switches it
+// connects (fabric links). It is the inverse of the link index layout the
+// router charges, letting a fault on a raw LinkID be mapped back to the
+// physical component it degrades.
+type LinkInfo struct {
+	Kind LinkKind
+	// Addr is the NIC endpoint of NIC up/down links.
+	Addr flow.Addr
+	// Leaf and Spine are the switches a leaf<->spine link connects.
+	Leaf, Spine flow.SwitchID
+}
+
+// LinkInfo resolves a link id; ok is false for ids outside the fabric.
+func (t *Topology) LinkInfo(id LinkID) (LinkInfo, bool) {
+	i := int(id)
+	n := t.nAddrs
+	ls := t.leaves * t.spec.Spines
+	switch {
+	case i < 0:
+		return LinkInfo{}, false
+	case i < n:
+		return LinkInfo{Kind: LinkNICUp, Addr: flow.Addr(i)}, true
+	case i < 2*n:
+		return LinkInfo{Kind: LinkNICDown, Addr: flow.Addr(i - n)}, true
+	case i < 2*n+ls:
+		j := i - 2*n
+		return LinkInfo{
+			Kind:  LinkLeafToSpine,
+			Leaf:  t.LeafSwitch(j / t.spec.Spines),
+			Spine: t.SpineSwitch(j % t.spec.Spines),
+		}, true
+	case i < 2*n+2*ls:
+		j := i - 2*n - ls
+		return LinkInfo{
+			Kind:  LinkSpineToLeaf,
+			Leaf:  t.LeafSwitch(j / t.spec.Spines),
+			Spine: t.SpineSwitch(j % t.spec.Spines),
+		}, true
+	default:
+		return LinkInfo{}, false
+	}
+}
+
 // Path is a routed fabric path between two endpoints.
 type Path struct {
 	// Switches in traversal order (what ERSPAN collection records).

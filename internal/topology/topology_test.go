@@ -166,6 +166,45 @@ func TestRouteLinksValid(t *testing.T) {
 	}
 }
 
+// TestLinkInfoInvertsRouting: every link a routed path charges resolves,
+// via LinkInfo, back to the endpoints/switches the route actually used.
+func TestLinkInfoInvertsRouting(t *testing.T) {
+	topo := testTopo(t, Spec{Nodes: 96, NodesPerLeaf: 16, Spines: 4})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		src := flow.Addr(rng.Intn(topo.Endpoints()))
+		dst := flow.Addr(rng.Intn(topo.Endpoints()))
+		if topo.NodeOf(src) == topo.NodeOf(dst) {
+			continue
+		}
+		p := topo.Route(src, dst, uint32(i))
+		first, ok := topo.LinkInfo(p.Links[0])
+		if !ok || first.Kind != LinkNICUp || first.Addr != src {
+			t.Fatalf("first link info = %+v ok=%v, want NIC-up of %v", first, ok, src)
+		}
+		last, ok := topo.LinkInfo(p.Links[len(p.Links)-1])
+		if !ok || last.Kind != LinkNICDown || last.Addr != dst {
+			t.Fatalf("last link info = %+v ok=%v, want NIC-down of %v", last, ok, dst)
+		}
+		if len(p.Switches) == 3 { // cross-leaf: leaf, spine, leaf
+			up, ok := topo.LinkInfo(p.Links[1])
+			if !ok || up.Kind != LinkLeafToSpine || up.Leaf != p.Switches[0] || up.Spine != p.Switches[1] {
+				t.Fatalf("uplink info = %+v ok=%v, want leaf %v -> spine %v", up, ok, p.Switches[0], p.Switches[1])
+			}
+			down, ok := topo.LinkInfo(p.Links[2])
+			if !ok || down.Kind != LinkSpineToLeaf || down.Spine != p.Switches[1] || down.Leaf != p.Switches[2] {
+				t.Fatalf("downlink info = %+v ok=%v, want spine %v -> leaf %v", down, ok, p.Switches[1], p.Switches[2])
+			}
+		}
+	}
+	if _, ok := topo.LinkInfo(-1); ok {
+		t.Error("negative link id resolved")
+	}
+	if _, ok := topo.LinkInfo(LinkID(len(topo.Links()))); ok {
+		t.Error("out-of-range link id resolved")
+	}
+}
+
 func TestLinkTableLayout(t *testing.T) {
 	topo := testTopo(t, Spec{Nodes: 32, NodesPerLeaf: 16, Spines: 4})
 	links := topo.Links()

@@ -74,6 +74,7 @@ import (
 
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/localize"
 	"github.com/llmprism/llmprism/internal/core/parallel"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/flow"
@@ -86,6 +87,13 @@ type Config struct {
 	Parallel    parallel.Config
 	Timeline    timeline.Config
 	Diagnosis   diagnose.Config
+	// Localize enables root-cause localization: after diagnosis, the
+	// window's alerts plus the flows' switch paths are converted into the
+	// ranked Report.Suspects list. Localization runs once on the merged
+	// report, so it adds no per-worker state.
+	Localize bool
+	// Localization tunes the localizer (zero value = defaults).
+	Localization localize.Config
 	// Workers bounds the per-job fan-out of the analysis pipeline. Zero or
 	// negative means GOMAXPROCS; 1 runs the pipeline sequentially.
 	Workers int
@@ -114,6 +122,26 @@ func WithSwitchBucket(d time.Duration) Option {
 // check.
 func WithMaxConcurrentDPFlows(n int) Option {
 	return func(c *Config) { c.Diagnosis.MaxConcurrentDPFlows = n }
+}
+
+// WithSwitchTiers stratifies the switch-bandwidth peer comparison by the
+// given tier classifier (e.g. leaf vs spine): switches are judged only
+// against peers of their own tier, because the tiers carry structurally
+// different per-flow bandwidth. The default compares all switches in one
+// population.
+func WithSwitchTiers(tier func(SwitchID) int) Option {
+	return func(c *Config) { c.Diagnosis.SwitchTier = tier }
+}
+
+// WithLocalization enables root-cause localization: every report gains a
+// ranked Suspects list naming the switches, inter-switch links and host
+// NICs most likely behind the window's alerts. cfg tunes the localizer;
+// the zero value uses the documented defaults.
+func WithLocalization(cfg LocalizationConfig) Option {
+	return func(c *Config) {
+		c.Localize = true
+		c.Localization = cfg
+	}
 }
 
 // WithWorkers bounds the per-job fan-out of the analysis pipeline. Zero or
@@ -189,6 +217,13 @@ type Report struct {
 	// and windows-firing count) plus one final entry for each anomaly that
 	// just stopped firing. Nil outside the monitor.
 	Incidents []diagnose.Incident
+	// Suspects is the ranked root-cause localization of this window's
+	// alerts — switches, inter-switch links and host NICs scored by
+	// spectrum suspiciousness over alert-implicated vs healthy flows. Nil
+	// unless the analyzer was built WithLocalization, or when no alert
+	// fired. Inside the monitor each suspect also carries FirstSeen /
+	// Windows continuity keyed on the component's physical identity.
+	Suspects []localize.Suspect
 }
 
 // Alerts returns every alert in the report (job-scoped then switch-level),
@@ -312,5 +347,25 @@ func (a *Analyzer) AnalyzeFrameContext(ctx context.Context, f *flow.Frame, mappe
 	}
 	report.SwitchSeries = merged.Series()
 	report.SwitchAlerts = diagnose.SwitchDiagnose(report.SwitchSeries, a.cfg.Diagnosis)
+	if a.cfg.Localize {
+		report.Suspects = localizeReport(report, a.cfg.Localization)
+	}
 	return report, nil
+}
+
+// localizeReport runs root-cause localization over the merged report. It
+// executes on the in-order merge path (never inside the per-job fan-out),
+// visiting jobs in report order, which is what keeps the suspect list
+// bit-identical for every worker count.
+func localizeReport(r *Report, cfg localize.Config) []localize.Suspect {
+	jobs := make([]localize.Job, len(r.Jobs))
+	for i, jr := range r.Jobs {
+		jobs[i] = localize.Job{
+			Records:  jr.Records,
+			Types:    jr.Types,
+			DPGroups: jr.DPGroups,
+			Alerts:   jr.Alerts,
+		}
+	}
+	return localize.Localize(jobs, r.SwitchAlerts, cfg)
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/llmprism/llmprism/internal/bocd"
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/localize"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/stream"
 )
@@ -74,6 +75,10 @@ type Monitor struct {
 	seq       int
 	registry  *jobrec.Registry
 	incidents *diagnose.IncidentTracker
+	// suspects carries localization continuity (non-nil only when the
+	// analyzer localizes): a component staying suspect across windows
+	// keeps its first-seen time and windows count.
+	suspects *localize.Tracker
 
 	streaming bool
 }
@@ -179,13 +184,17 @@ func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Dura
 	acfg := analyzer.cfg
 	acfg.Parallel.Split.Detectors = bocd.NewPool(acfg.Parallel.Split.BOCD)
 	acfg.Timeline.Split.Detectors = bocd.NewPool(acfg.Timeline.Split.BOCD)
-	return &Monitor{
+	m := &Monitor{
 		analyzer:  &Analyzer{cfg: acfg},
 		mapper:    mapper,
 		cfg:       cfg,
 		registry:  jobrec.NewRegistry(cfg.registry),
 		incidents: diagnose.NewIncidentTracker(),
-	}, nil
+	}
+	if acfg.Localize {
+		m.suspects = localize.NewTracker()
+	}
+	return m, nil
 }
 
 // Window returns the monitor's window width.
@@ -373,6 +382,9 @@ func (m *Monitor) annotate(r *Report) {
 		alerts = append(alerts, diagnose.JobAlert{Alert: a})
 	}
 	r.Incidents = m.incidents.Observe(alerts)
+	if m.suspects != nil {
+		m.suspects.Observe(r.Window.Start, r.Suspects)
+	}
 }
 
 // Flush analyzes whatever remains in the Feed path's buffer, one report

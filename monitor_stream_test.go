@@ -37,14 +37,15 @@ func pushAll(t *testing.T, s *MonitorStream, records []FlowRecord, batch int) []
 // TestMonitorStreamMatchesFeed is the streaming engine's acceptance gate:
 // for an in-order trace, the pipelined stream session must produce reports
 // deep-equal — window bounds, job ids, alerts, float-typed series,
-// incidents — to the serial Feed/Flush loop's, for every worker count and
-// pipeline depth. Run with -race to verify the window handoff.
+// incidents, localization suspects — to the serial Feed/Flush loop's, for
+// every worker count and pipeline depth. Run with -race to verify the
+// window handoff.
 func TestMonitorStreamMatchesFeed(t *testing.T) {
 	records, topo := concurrencyTrace(t)
 	const window = 5 * time.Second
 
 	feed := func(workers int) []*Report {
-		m, err := NewMonitor(New(WithWorkers(workers)), topo, window)
+		m, err := NewMonitor(New(WithWorkers(workers), WithLocalization(LocalizationConfig{})), topo, window)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestMonitorStreamMatchesFeed(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		for _, depth := range []int{1, 3} {
-			m, err := NewMonitor(New(WithWorkers(workers)), topo, window, WithPipelineDepth(depth))
+			m, err := NewMonitor(New(WithWorkers(workers), WithLocalization(LocalizationConfig{})), topo, window, WithPipelineDepth(depth))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +99,8 @@ func TestMonitorStreamMatchesFeed(t *testing.T) {
 
 // TestMonitorStreamPermutationInvariance is the ordering property the
 // watermark guarantees: any arrival permutation whose records stay within
-// the allowed lateness yields bit-identical reports and zero late drops.
+// the allowed lateness yields bit-identical reports — localization
+// suspects included — and zero late drops.
 func TestMonitorStreamPermutationInvariance(t *testing.T) {
 	records, topo := concurrencyTrace(t)
 	const (
@@ -107,7 +109,7 @@ func TestMonitorStreamPermutationInvariance(t *testing.T) {
 	)
 
 	run := func(recs []FlowRecord, depth int) []*Report {
-		m, err := NewMonitor(New(WithWorkers(4)), topo, window,
+		m, err := NewMonitor(New(WithWorkers(4), WithLocalization(LocalizationConfig{})), topo, window,
 			WithLateness(lateness), WithPipelineDepth(depth))
 		if err != nil {
 			t.Fatal(err)
@@ -296,7 +298,8 @@ func TestMonitorStreamIncidentContinuity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMonitor(New(WithSwitchBucket(5*time.Second)), res.Topo, 15*time.Second)
+	m, err := NewMonitor(New(WithSwitchBucket(5*time.Second), WithLocalization(LocalizationConfig{})),
+		res.Topo, 15*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,6 +331,35 @@ func TestMonitorStreamIncidentContinuity(t *testing.T) {
 	}
 	if maxWindows < 2 {
 		t.Errorf("incident spanned %d windows, want >= 2 (one ongoing incident, not per-window alerts)", maxWindows)
+	}
+
+	// Localization continuity rides the same in-order path: the degraded
+	// spine must top the suspect list, keep its first-seen stamp and
+	// accumulate windows while it stays suspect.
+	var suspectFirst time.Time
+	suspectWindows := 0
+	for _, r := range reports {
+		if len(r.Suspects) == 0 {
+			continue
+		}
+		top := r.Suspects[0]
+		if top.Component != (SuspectComponent{Kind: ComponentSwitch, Switch: badSpine}) {
+			continue
+		}
+		if suspectFirst.IsZero() {
+			suspectFirst = top.FirstSeen
+		} else if !top.FirstSeen.Equal(suspectFirst) {
+			t.Errorf("suspect first-seen drifted: %v -> %v", suspectFirst, top.FirstSeen)
+		}
+		if top.Windows > suspectWindows {
+			suspectWindows = top.Windows
+		}
+	}
+	if suspectFirst.IsZero() {
+		t.Fatal("degraded spine never topped the suspect ranking")
+	}
+	if suspectWindows < 2 {
+		t.Errorf("spine stayed top suspect for %d windows, want >= 2", suspectWindows)
 	}
 }
 

@@ -52,12 +52,13 @@ func replayArchive(t *testing.T, data []byte, topo *topology.Topology, opts ...O
 	return append(reports, tail...)
 }
 
-// TestArchiveReplayReproducesReports is the tentpole acceptance gate: a
+// TestArchiveReplayReproducesReports is the archive acceptance gate: a
 // streaming session recorded through WithArchive, reopened and replayed
 // through Monitor.Stream, must reproduce the recorded reports bit for bit
-// — window bounds, job ids, float-typed series, incidents — including when
-// the live session ingested records out of order within the lateness
-// bound. Run with -race to cover the pipelined archive handoff.
+// — window bounds, job ids, float-typed series, incidents, localization
+// suspects — including when the live session ingested records out of
+// order within the lateness bound. Run with -race to cover the pipelined
+// archive handoff.
 func TestArchiveReplayReproducesReports(t *testing.T) {
 	records, topo := concurrencyTrace(t)
 	const (
@@ -67,7 +68,7 @@ func TestArchiveReplayReproducesReports(t *testing.T) {
 
 	record := func(recs []FlowRecord) ([]*Report, []byte) {
 		var buf bytes.Buffer
-		m, err := NewMonitor(New(WithWorkers(4)), topo, window,
+		m, err := NewMonitor(New(WithWorkers(4), WithLocalization(LocalizationConfig{})), topo, window,
 			WithLateness(lateness), WithPipelineDepth(3), WithArchive(&buf))
 		if err != nil {
 			t.Fatal(err)
@@ -84,12 +85,12 @@ func TestArchiveReplayReproducesReports(t *testing.T) {
 	if len(want) < 3 {
 		t.Fatalf("windows = %d, want >= 3", len(want))
 	}
-	got := replayArchive(t, data, topo, WithWorkers(4))
+	got := replayArchive(t, data, topo, WithWorkers(4), WithLocalization(LocalizationConfig{}))
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("replayed reports diverge from recorded session")
 	}
 	// Worker count must not matter on replay either.
-	if got1 := replayArchive(t, data, topo, WithWorkers(1)); !reflect.DeepEqual(want, got1) {
+	if got1 := replayArchive(t, data, topo, WithWorkers(1), WithLocalization(LocalizationConfig{})); !reflect.DeepEqual(want, got1) {
 		t.Fatal("replay with 1 worker diverges from recorded session")
 	}
 
@@ -100,7 +101,7 @@ func TestArchiveReplayReproducesReports(t *testing.T) {
 	if !reflect.DeepEqual(want, permuted) {
 		t.Fatal("permuted live session diverges (pre-existing invariant)")
 	}
-	if got := replayArchive(t, permData, topo, WithWorkers(4)); !reflect.DeepEqual(permuted, got) {
+	if got := replayArchive(t, permData, topo, WithWorkers(4), WithLocalization(LocalizationConfig{})); !reflect.DeepEqual(permuted, got) {
 		t.Fatal("replay of permuted-session archive diverges")
 	}
 }

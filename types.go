@@ -6,6 +6,7 @@ import (
 	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/localize"
 	"github.com/llmprism/llmprism/internal/core/parallel"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/faults"
@@ -69,6 +70,16 @@ type (
 	Incident = diagnose.Incident
 	// IncidentKey identifies one logical anomaly across windows.
 	IncidentKey = diagnose.IncidentKey
+	// Suspect is one ranked root-cause candidate of a window's alerts
+	// (Report.Suspects, produced WithLocalization).
+	Suspect = localize.Suspect
+	// SuspectComponent identifies the fabric element a suspect names:
+	// a switch, an inter-switch link or a host NIC.
+	SuspectComponent = localize.Component
+	// SuspectComponentKind classifies suspect components.
+	SuspectComponentKind = localize.ComponentKind
+	// LocalizationConfig tunes root-cause localization.
+	LocalizationConfig = localize.Config
 
 	// Scenario specifies a platform simulation.
 	Scenario = platform.Scenario
@@ -109,6 +120,10 @@ const (
 	AlertCrossGroup      = diagnose.AlertCrossGroup
 	AlertSwitchFlowCount = diagnose.AlertSwitchFlowCount
 	AlertSwitchBandwidth = diagnose.AlertSwitchBandwidth
+
+	ComponentSwitch = localize.ComponentSwitch
+	ComponentLink   = localize.ComponentLink
+	ComponentHost   = localize.ComponentHost
 
 	StyleZeRO      = trainsim.StyleZeRO
 	StyleAllReduce = trainsim.StyleAllReduce
