@@ -1,0 +1,179 @@
+// Command benchbase records and checks benchmark baselines. It reads `go
+// test -bench -benchmem` output on stdin and either writes a baseline
+// JSON file (-update) or diffs the run against one (-check).
+//
+// The check gates allocs/op — allocation counts are deterministic for a
+// deterministic code path, so a regression there is a code change, not
+// machine noise — and reports ns/op and B/op movements informationally.
+// A benchmark present in the baseline but absent from the run fails the
+// check (a silently deleted benchmark is a lost regression gate); extra
+// benchmarks in the run are reported and ignored so new benchmarks can
+// land before their baseline does.
+//
+// Regenerate the committed baselines with:
+//
+//	go test -run - -bench 'Analyze|Frame' -benchtime=1x -benchmem . | benchbase -update BENCH_analyze.json
+//	go test -run - -bench Monitor -benchtime=1x -benchmem . | benchbase -update BENCH_monitor.json
+//	go test -run - -bench Localize -benchtime=1x -benchmem ./internal/core/localize | benchbase -update BENCH_localize.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed benchmark baseline file.
+type Baseline struct {
+	// Note documents how the baseline was produced.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps normalized benchmark name to its measured costs.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// cpuSuffix matches the GOMAXPROCS suffix go test appends to benchmark
+// names (BenchmarkAnalyze-8); baselines must compare across machines with
+// different core counts, so it is stripped.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Lines that are not benchmark results (PASS, ok, logs) are skipped.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		var res Result
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchbase: %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, seen = v, true
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchbase: no benchmark results on stdin (did the bench run with -benchmem?)")
+	}
+	return out, nil
+}
+
+func update(path, note string, results map[string]Result) error {
+	data, err := json.MarshalIndent(Baseline{Note: note, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// check diffs results against the baseline at path. It returns an error
+// listing every gate violation; informational drifts go to w.
+func check(w io.Writer, path string, results map[string]Result, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchbase: %s: %w", path, err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		limit := float64(want.AllocsPerOp) * (1 + tol)
+		if float64(got.AllocsPerOp) > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				name, got.AllocsPerOp, want.AllocsPerOp, tol*100))
+		} else {
+			fmt.Fprintf(w, "ok   %s: allocs/op %d (baseline %d), ns/op %.0f (baseline %.0f), B/op %d (baseline %d)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp, got.NsPerOp, want.NsPerOp, got.BytesPerOp, want.BytesPerOp)
+		}
+	}
+	extra := make([]string, 0)
+	for name := range results {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "new  %s: not in baseline (run -update to record it)\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchbase: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchbase", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	updatePath := fs.String("update", "", "write the parsed results as a new baseline to this file")
+	checkPath := fs.String("check", "", "diff the parsed results against the baseline in this file")
+	tol := fs.Float64("tol", 0.25, "allowed fractional allocs/op growth before -check fails")
+	note := fs.String("note", "go test -bench -benchtime=1x -benchmem", "provenance note stored with -update")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*updatePath == "") == (*checkPath == "") {
+		return fmt.Errorf("benchbase: exactly one of -update or -check is required")
+	}
+	results, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if *updatePath != "" {
+		return update(*updatePath, *note, results)
+	}
+	return check(stdout, *checkPath, results, *tol)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/llmprism/llmprism
+BenchmarkAnalyze-8                	       1	 52314021 ns/op	18273645 B/op	  120034 allocs/op
+BenchmarkAnalyzePipeline/depth=2-8	       1	 31220010 ns/op	 9273645 B/op	   60034 allocs/op
+PASS
+ok  	github.com/llmprism/llmprism	2.013s
+`
+
+func TestParseBenchNormalizesNames(t *testing.T) {
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	got, ok := results["Analyze"]
+	if !ok {
+		t.Fatalf("missing Analyze (cpu suffix not stripped?): %v", results)
+	}
+	if got.AllocsPerOp != 120034 || got.BytesPerOp != 18273645 || got.NsPerOp != 52314021 {
+		t.Fatalf("Analyze = %+v", got)
+	}
+	if _, ok := results["AnalyzePipeline/depth=2"]; !ok {
+		t.Fatalf("sub-benchmark name mangled: %v", results)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok  \tpkg\t0.1s\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestUpdateThenCheckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := check(&out, path, results, 0.25); err != nil {
+		t.Fatalf("identical run must pass the check: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok   Analyze:") {
+		t.Fatalf("check output missing ok line:\n%s", out.String())
+	}
+}
+
+func TestCheckGatesAllocGrowth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	grown := map[string]Result{}
+	for name, r := range results {
+		r.AllocsPerOp = r.AllocsPerOp * 2
+		grown[name] = r
+	}
+	var out strings.Builder
+	err = check(&out, path, grown, 0.25)
+	if err == nil {
+		t.Fatal("doubled allocs/op must fail the check")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("failure should name the gated metric: %v", err)
+	}
+}
+
+func TestCheckNsDriftIsInformational(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	slower := map[string]Result{}
+	for name, r := range results {
+		r.NsPerOp *= 10 // machine noise must not gate
+		slower[name] = r
+	}
+	var out strings.Builder
+	if err := check(&out, path, slower, 0.25); err != nil {
+		t.Fatalf("ns/op drift alone must not fail the check: %v", err)
+	}
+}
+
+func TestCheckMissingBaselineEntryFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	partial := map[string]Result{"Analyze": results["Analyze"]}
+	var out strings.Builder
+	if err := check(&out, path, partial, 0.25); err == nil {
+		t.Fatal("baseline entry missing from the run must fail the check")
+	}
+}
+
+func TestCheckExtraBenchmarkIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	results["BrandNew"] = Result{NsPerOp: 1, AllocsPerOp: 1}
+	var out strings.Builder
+	if err := check(&out, path, results, 0.25); err != nil {
+		t.Fatalf("extra benchmark must not fail the check: %v", err)
+	}
+	if !strings.Contains(out.String(), "new  BrandNew") {
+		t.Fatalf("extra benchmark should be reported:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil, strings.NewReader(benchOutput), &strings.Builder{}); err == nil {
+		t.Fatal("want error when neither -update nor -check given")
+	}
+	if err := run([]string{"-update", "a", "-check", "b"}, strings.NewReader(benchOutput), &strings.Builder{}); err == nil {
+		t.Fatal("want error when both -update and -check given")
+	}
+}
+
+func TestMainUpdateWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := run([]string{"-update", path}, strings.NewReader(benchOutput), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Analyze"`) {
+		t.Fatalf("baseline file missing benchmark entry:\n%s", data)
+	}
+}

@@ -9,9 +9,9 @@
 //	llmprism diagnose -flows flows.csv -topo topo.json [-localize] [-bucket 1m] [-workers 8]
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
-//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize]
+//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize] [-suppress-chronic]
 //	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
-//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2] [-localize]
+//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
@@ -22,6 +22,14 @@
 // after their end), pushed in -batch-sized slices, and analyzed in a
 // pipeline -depth windows deep. Each window prints its job, alert and
 // ongoing-incident summary; late records are counted, not misfiled.
+//
+// -suppress-chronic turns the alert feed incident-centric: anomalies that
+// fire from the monitor's first windows and never resolve are classified
+// chronic — platform steady state, not events — and removed from the
+// per-window alert surface and (with -localize) from localization
+// evidence, while their incidents stay listed with a chronic marker.
+// Suspects that persist across windows additionally accumulate a fused
+// score; the per-window fused ranking is printed alongside them.
 //
 // diagnose is the diagnosis-focused view of analyze: it stratifies the
 // switch-bandwidth comparison by tier (leaves vs spines, from the
@@ -90,6 +98,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		depth       = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
 		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
 		localized   = fs.Bool("localize", false, "rank root-cause suspect components (diagnose, monitor, record, replay)")
+		suppress    = fs.Bool("suppress-chronic", false, "suppress persistent anomalies from the alert surface (monitor, record, replay)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -124,7 +133,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runReplay(ctx, stdout, *archivePath, topo, tiered(topo), *window, *lateness, *depth)
+		return runReplay(ctx, stdout, *archivePath, topo, tiered(topo), *window, *lateness, *depth, *suppress)
 	}
 
 	records, topo, err := load(*flowsPath, *topoPath)
@@ -133,12 +142,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	switch cmd {
 	case "monitor":
-		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, "")
+		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, "", *suppress)
 	case "record":
 		if *archivePath == "" {
 			return fmt.Errorf("record requires -archive")
 		}
-		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, *archivePath)
+		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, *archivePath, *suppress)
 	case "diagnose":
 		report, err := tiered(topo).AnalyzeContext(ctx, records, topo)
 		if err != nil {
@@ -213,6 +222,9 @@ func printReports(stdout io.Writer, reports []*llmprism.Report) {
 		for _, inc := range r.Incidents {
 			state := fmt.Sprintf("firing %d windows, first seen %s",
 				inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
+			if inc.Chronic {
+				state = "chronic, " + state
+			}
 			if !inc.StillFiring {
 				state = "resolved"
 			}
@@ -226,6 +238,14 @@ func printReports(stdout io.Writer, reports []*llmprism.Report) {
 			fmt.Fprintf(stdout, "  suspect #%d %v: score %.2f, suspect for %d windows since %s\n",
 				i+1, s.Component, s.Score, s.Windows, s.FirstSeen.Format(time.TimeOnly))
 		}
+		for i, s := range r.FusedSuspects {
+			if i == 3 {
+				fmt.Fprintf(stdout, "  … and %d more fused suspects\n", len(r.FusedSuspects)-i)
+				break
+			}
+			fmt.Fprintf(stdout, "  fused #%d %v: fused %.2f over %d windows since %s\n",
+				i+1, s.Component, s.Fused, s.Windows, s.FirstSeen.Format(time.TimeOnly))
+		}
 	}
 }
 
@@ -234,13 +254,16 @@ func printReports(stdout io.Writer, reports []*llmprism.Report) {
 // ongoing incidents. A non-empty archivePath (the record subcommand) also
 // persists every completed window's columnar frame to a binary trace
 // archive for later deterministic replay.
-func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int, archivePath string) error {
+func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int, archivePath string, suppress bool) error {
 	opts := []llmprism.MonitorOption{
 		llmprism.WithLateness(lateness),
 		llmprism.WithPipelineDepth(depth),
 	}
 	if hop > 0 {
 		opts = append(opts, llmprism.WithHop(hop))
+	}
+	if suppress {
+		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
 	}
 	var af *os.File
 	if archivePath != "" {
@@ -304,7 +327,7 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 // back through a fresh monitor session on the recorded window grid,
 // reproducing the recorded reports bit for bit. Archives from unwindowed
 // captures (zero recorded width) are windowed with the flag geometry.
-func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int) error {
+func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int, suppress bool) error {
 	if archivePath == "" {
 		return fmt.Errorf("replay requires -archive")
 	}
@@ -332,6 +355,9 @@ func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *
 	opts := []llmprism.MonitorOption{
 		llmprism.WithLateness(meta.Lateness),
 		llmprism.WithPipelineDepth(depth),
+	}
+	if suppress {
+		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
 	}
 	if !ar.Anchor().IsZero() {
 		opts = append(opts, llmprism.WithAnchor(ar.Anchor()))

@@ -227,6 +227,42 @@ func TestRunRecordReplay(t *testing.T) {
 	}
 }
 
+// TestRunRecordReplaySuppress extends the record/replay line-compare gate
+// to the incident-centric path: with -suppress-chronic and -localize the
+// replayed session must reproduce the recorded chronic classification,
+// suppressed alert surface and fused suspect lines bit for bit.
+func TestRunRecordReplaySuppress(t *testing.T) {
+	flows, topo := writeTrace(t)
+	arch := filepath.Join(filepath.Dir(flows), "trace.llpa")
+
+	var recOut strings.Builder
+	err := run(context.Background(), []string{
+		"record", "-flows", flows, "-topo", topo, "-archive", arch,
+		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-bucket", "2s",
+		"-localize", "-suppress-chronic",
+	}, &recOut, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var repOut strings.Builder
+	err = run(context.Background(), []string{
+		"replay", "-archive", arch, "-topo", topo, "-depth", "3", "-bucket", "2s",
+		"-localize", "-suppress-chronic",
+	}, &repOut, &repOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rep := windowLines(recOut.String()), windowLines(repOut.String())
+	if len(rec) == 0 {
+		t.Fatalf("record emitted no window lines:\n%s", recOut.String())
+	}
+	if !slices.Equal(rec, rep) {
+		t.Errorf("suppressed replay diverges from recorded session:\nrecord:\n%s\nreplay:\n%s",
+			strings.Join(rec, "\n"), strings.Join(rep, "\n"))
+	}
+}
+
 func TestRunRecordRequiresArchive(t *testing.T) {
 	flows, topo := writeTrace(t)
 	var out strings.Builder

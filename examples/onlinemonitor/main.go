@@ -7,7 +7,12 @@
 // first-seen time, not an unrelated alert pile per window. With
 // localization enabled, each window also carries a ranked list of suspect
 // components — the switch, link or host NIC the alerts point at — with the
-// same cross-window continuity.
+// same cross-window continuity, and a fused ranking that accumulates each
+// suspect's score across windows, so one persistent root cause rises above
+// per-window noise. Chronic suppression completes the incident-centric
+// view: anomalies that fire from the session's first windows and never
+// resolve are classified chronic — platform steady state, not events —
+// and leave the alert surface while their incidents stay visible.
 //
 // The session also records itself: WithArchive persists every completed
 // window's columnar frame into a binary trace archive, and the final step
@@ -73,6 +78,7 @@ func main() {
 		llmprism.WithLateness(5*time.Second),
 		llmprism.WithPipelineDepth(2),
 		llmprism.WithArchive(&trace),
+		llmprism.WithChronicSuppression(llmprism.IncidentConfig{}),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -112,8 +118,12 @@ func main() {
 				}
 				shown++
 				if inc.StillFiring {
-					fmt.Printf("    %v firing %d windows since %s: %s\n",
-						inc.Key.Kind, inc.Windows, inc.FirstSeen.Format(time.TimeOnly), inc.Detail)
+					state := "firing"
+					if inc.Chronic {
+						state = "chronic, firing"
+					}
+					fmt.Printf("    %v %s %d windows since %s: %s\n",
+						inc.Key.Kind, state, inc.Windows, inc.FirstSeen.Format(time.TimeOnly), inc.Detail)
 				} else {
 					fmt.Printf("    %v resolved after %d windows\n", inc.Key.Kind, inc.Windows)
 				}
@@ -124,6 +134,13 @@ func main() {
 				}
 				fmt.Printf("    suspect #%d %v: score %.2f, suspect for %d windows\n",
 					i+1, s.Component, s.Score, s.Windows)
+			}
+			for i, s := range report.FusedSuspects {
+				if i == 2 {
+					break
+				}
+				fmt.Printf("    fused #%d %v: fused %.2f over %d windows\n",
+					i+1, s.Component, s.Fused, s.Windows)
 			}
 		}
 	}
@@ -156,14 +173,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Same analyzer settings as the live session (localization included),
-	// or the replayed reports could not be bit-identical.
+	// Same analyzer and monitor settings as the live session (localization
+	// and suppression included), or the replayed reports could not be
+	// bit-identical.
 	replayMon, err := llmprism.NewMonitor(
 		llmprism.New(llmprism.WithLocalization(llmprism.LocalizationConfig{})),
 		res.Topo, ar.Meta().Width,
 		llmprism.WithLateness(ar.Meta().Lateness),
 		llmprism.WithPipelineDepth(2),
 		llmprism.WithAnchor(ar.Anchor()),
+		llmprism.WithChronicSuppression(llmprism.IncidentConfig{}),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -100,6 +100,17 @@ type Config struct {
 	// pooling them makes the low tier look degraded against the high one.
 	// Nil (the default) compares all switches in a single population.
 	SwitchTier func(flow.SwitchID) int
+	// GroupRail classifies DP-group anchor endpoints into comparison
+	// rails for the cross-group detector, the group-side mirror of
+	// SwitchTier: the per-step k-sigma peer population is formed within
+	// each rail class separately, because rails carry structurally
+	// different collective-segment durations (the trailing rail absorbs
+	// the collective's serialization tail every step), and pooling them
+	// makes the slow rail's groups fire in every window of a fault-free
+	// trace. Rails below MinSamples groups are skipped, not pooled — a
+	// two-group rail has no peer baseline to judge against. Nil (the
+	// default) compares all of a job's groups in a single population.
+	GroupRail func(flow.Addr) int
 }
 
 func (c Config) withDefaults() Config {
@@ -187,11 +198,18 @@ func CrossStep(timelines map[flow.Addr]*timeline.Timeline, cfg Config) []Alert {
 }
 
 // CrossGroup compares the DP segment durations of a job's DP groups step by
-// step and flags groups that are k-sigma slower than their peers.
+// step and flags groups that are k-sigma slower than their peers. With
+// Config.GroupRail set, the per-step peer population is stratified by the
+// rail class of each group's anchor endpoint, so structurally slow rails
+// are never judged against fast ones.
 func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr, cfg Config) []Alert {
 	cfg = cfg.withDefaults()
 	if len(groups) < cfg.MinSamples {
 		return nil
+	}
+	railOf := func(anchor flow.Addr) int { return 0 }
+	if cfg.GroupRail != nil {
+		railOf = cfg.GroupRail
 	}
 	// groupDur[g][step] = mean DP duration of group g's members at step.
 	maxSteps := 0
@@ -200,11 +218,17 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 			maxSteps = n
 		}
 	}
+	// Per-step scratch, partitioned by rail class. Groups are visited in
+	// index order, so each rail's population keeps a fixed order too.
+	type railPop struct {
+		durs  []float64
+		times []time.Time
+		idx   []int
+	}
 	var alerts []Alert
 	for step := 1; step < maxSteps; step++ { // skip truncated step 0
-		durs := make([]float64, 0, len(groups))
-		times := make([]time.Time, 0, len(groups))
-		idx := make([]int, 0, len(groups))
+		byRail := make(map[int]*railPop)
+		rails := make([]int, 0, 2)
 		for g, members := range groups {
 			var sum float64
 			var n int
@@ -221,30 +245,46 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 			if n == 0 {
 				continue
 			}
-			durs = append(durs, sum/float64(n))
-			times = append(times, at)
-			idx = append(idx, g)
+			var anchor flow.Addr
+			if len(members) > 0 {
+				anchor = members[0] // members are sorted ascending
+			}
+			rail := railOf(anchor)
+			pop, ok := byRail[rail]
+			if !ok {
+				pop = &railPop{}
+				byRail[rail] = pop
+				rails = append(rails, rail)
+			}
+			pop.durs = append(pop.durs, sum/float64(n))
+			pop.times = append(pop.times, at)
+			pop.idx = append(pop.idx, g)
 		}
-		if len(durs) < cfg.MinSamples {
-			continue
-		}
-		for i := range durs {
-			if bad, base := kSigmaOutlierLOO(durs, i, cfg.K, +1); bad {
-				var anchor flow.Addr
-				if members := groups[idx[i]]; len(members) > 0 {
-					anchor = members[0] // members are sorted ascending
+		sort.Ints(rails)
+		for _, rail := range rails {
+			pop := byRail[rail]
+			if len(pop.durs) < cfg.MinSamples {
+				continue
+			}
+			for i := range pop.durs {
+				if bad, base := kSigmaOutlierLOO(pop.durs, i, cfg.K, +1); bad {
+					g := pop.idx[i]
+					var anchor flow.Addr
+					if members := groups[g]; len(members) > 0 {
+						anchor = members[0]
+					}
+					alerts = append(alerts, Alert{
+						Kind:        AlertCrossGroup,
+						Group:       g,
+						GroupAnchor: anchor,
+						Step:        step,
+						Time:        pop.times[i],
+						Value:       pop.durs[i],
+						Baseline:    base,
+						Detail: fmt.Sprintf("DP group %d step %d collective took %.3fs vs peer baseline %.3fs",
+							g, step, pop.durs[i], base),
+					})
 				}
-				alerts = append(alerts, Alert{
-					Kind:        AlertCrossGroup,
-					Group:       idx[i],
-					GroupAnchor: anchor,
-					Step:        step,
-					Time:        times[i],
-					Value:       durs[i],
-					Baseline:    base,
-					Detail: fmt.Sprintf("DP group %d step %d collective took %.3fs vs peer baseline %.3fs",
-						idx[i], step, durs[i], base),
-				})
 			}
 		}
 	}

@@ -104,6 +104,72 @@ func TestCrossGroupFlagsSlowGroup(t *testing.T) {
 	}
 }
 
+// TestCrossGroupRailStratification pins the per-rail split: with
+// GroupRail set, each rail class is its own comparison population. A rail
+// that is structurally slower than the rest — the trailing-rail collective
+// segment — stops polluting the pooled baseline: it raises no alert when
+// its class is too small to compare, and a genuinely slow group inside the
+// majority class is still flagged against its own rail's baseline.
+func TestCrossGroupRailStratification(t *testing.T) {
+	// 16 groups, the shape of the real deployment: anchors 1..14 are rail
+	// 0 (group 5 is the genuine fault at 4x), anchors 101,102 are rail 1
+	// and structurally 16x slower — the trailing-rail collective segment.
+	tls := make(map[flow.Addr]*timeline.Timeline)
+	var groups [][]flow.Addr
+	for g := 0; g < 14; g++ {
+		rank := flow.Addr(g + 1)
+		dp := uniformDurs(10, 50*time.Millisecond)
+		if g == 5 {
+			dp = uniformDurs(10, 200*time.Millisecond)
+		}
+		tls[rank] = makeTimeline(rank, uniformDurs(10, time.Second), dp)
+		groups = append(groups, []flow.Addr{rank})
+	}
+	for _, rank := range []flow.Addr{101, 102} {
+		tls[rank] = makeTimeline(rank, uniformDurs(10, time.Second), uniformDurs(10, 800*time.Millisecond))
+		groups = append(groups, []flow.Addr{rank})
+	}
+	rail := func(a flow.Addr) int {
+		if a >= 100 {
+			return 1
+		}
+		return 0
+	}
+
+	// Pooled baseline (no GroupRail): the slow rail's two groups read as
+	// outliers of the combined population — the chronic false alert.
+	pooled := CrossGroup(tls, groups, Config{})
+	var pooledSlowRail bool
+	for _, a := range pooled {
+		if rail(a.GroupAnchor) == 1 {
+			pooledSlowRail = true
+		}
+	}
+	if !pooledSlowRail {
+		t.Fatal("fixture too weak: pooled population does not flag the structurally slow rail")
+	}
+
+	stratified := CrossGroup(tls, groups, Config{GroupRail: rail})
+	var flagged []flow.Addr
+	for _, a := range stratified {
+		if a.Kind != AlertCrossGroup {
+			t.Fatalf("unexpected alert kind %v", a.Kind)
+		}
+		flagged = append(flagged, a.GroupAnchor)
+	}
+	for _, anchor := range flagged {
+		if rail(anchor) == 1 {
+			t.Errorf("slow-rail group %v flagged despite stratification", anchor)
+		}
+		if anchor != 6 {
+			t.Errorf("flagged anchor %v, want only the genuine fault (anchor 6)", anchor)
+		}
+	}
+	if len(flagged) == 0 {
+		t.Error("stratification silenced the genuine fault in the majority rail")
+	}
+}
+
 func TestCrossGroupNeedsEnoughGroups(t *testing.T) {
 	tls := map[flow.Addr]*timeline.Timeline{
 		1: makeTimeline(1, uniformDurs(10, time.Second), nil),

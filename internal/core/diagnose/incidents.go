@@ -54,6 +54,15 @@ type Incident struct {
 	// an incident is reported once more with StillFiring false in the
 	// first window where it stopped, then forgotten.
 	StillFiring bool
+	// Chronic marks a baseline property rather than an event: the anomaly
+	// has fired in every window since monitoring effectively began (it
+	// opened within IncidentConfig.BaselineWindows of the first alert the
+	// tracker ever saw) and has persisted for at least
+	// IncidentConfig.ChronicAfter windows. A structurally slow DP group —
+	// the trailing-rail collective segment — is chronic; a fault injected
+	// mid-run is not, because its incident opens after the baseline
+	// learning period. Chronic is sticky for the incident's lifetime.
+	Chronic bool
 	// Detail carries the latest alert's human-readable explanation.
 	Detail string
 }
@@ -65,17 +74,55 @@ type JobAlert struct {
 	Alert Alert
 }
 
+// IncidentConfig tunes the tracker's chronic-baseline classification.
+type IncidentConfig struct {
+	// ChronicAfter is how many consecutive windows a baseline-eligible
+	// incident must fire before it is classified chronic. Default 3.
+	ChronicAfter int
+	// BaselineWindows is the length of the baseline learning period, in
+	// windows, starting at the first observation that carried any alert:
+	// only incidents opening inside it can become chronic (anything
+	// appearing later is an event, however long it persists). Default 2.
+	BaselineWindows int
+}
+
+func (c IncidentConfig) withDefaults() IncidentConfig {
+	if c.ChronicAfter <= 0 {
+		c.ChronicAfter = 3
+	}
+	if c.BaselineWindows <= 0 {
+		c.BaselineWindows = 2
+	}
+	return c
+}
+
 // IncidentTracker folds each window's alerts into ongoing incidents. It is
 // not safe for concurrent use; the monitor drives it from the in-order
 // report emission path, so its output is deterministic regardless of how
 // many windows are analyzed in parallel.
 type IncidentTracker struct {
+	cfg  IncidentConfig
 	open map[IncidentKey]*Incident
+	// openedSeq remembers the observation at which each open incident
+	// opened, the input to the chronic-baseline test.
+	openedSeq map[IncidentKey]int
+	// seq counts Observe calls; firstAlertSeq is the seq of the first
+	// observation that carried any alert (-1 until then) — the start of
+	// the baseline learning period. Leading empty windows (a monitor
+	// session anchoring mid-grid) therefore do not consume the baseline.
+	seq           int
+	firstAlertSeq int
 }
 
-// NewIncidentTracker returns an empty tracker.
-func NewIncidentTracker() *IncidentTracker {
-	return &IncidentTracker{open: make(map[IncidentKey]*Incident)}
+// NewIncidentTracker returns an empty tracker. The zero cfg applies the
+// documented chronic-classification defaults.
+func NewIncidentTracker(cfg IncidentConfig) *IncidentTracker {
+	return &IncidentTracker{
+		cfg:           cfg.withDefaults(),
+		open:          make(map[IncidentKey]*Incident),
+		openedSeq:     make(map[IncidentKey]int),
+		firstAlertSeq: -1,
+	}
 }
 
 // Observe folds one window's alerts (in report order) into the tracker and
@@ -84,7 +131,17 @@ func NewIncidentTracker() *IncidentTracker {
 // that fired last window but not this one (StillFiring false, reported
 // once as a resolution notice). Both groups are ordered by key, so the
 // output is deterministic for deterministic input.
+//
+// Each call is one window. An open incident has, by construction, fired in
+// every window since it opened (a missed window deletes it), so the
+// chronic test reduces to: opened inside the baseline learning period and
+// still alive after ChronicAfter windows.
 func (t *IncidentTracker) Observe(alerts []JobAlert) []Incident {
+	seq := t.seq
+	t.seq++
+	if t.firstAlertSeq < 0 && len(alerts) > 0 {
+		t.firstAlertSeq = seq
+	}
 	fired := make(map[IncidentKey]bool, len(alerts))
 	for _, ja := range alerts {
 		key := KeyOf(ja.Job, ja.Alert)
@@ -92,6 +149,7 @@ func (t *IncidentTracker) Observe(alerts []JobAlert) []Incident {
 		if !ok {
 			inc = &Incident{Key: key, FirstSeen: ja.Alert.Time}
 			t.open[key] = inc
+			t.openedSeq[key] = seq
 		}
 		if !fired[key] {
 			// First alert of this key in this window.
@@ -112,12 +170,17 @@ func (t *IncidentTracker) Observe(alerts []JobAlert) []Incident {
 	var resolved []Incident
 	for key, inc := range t.open {
 		if fired[key] {
+			if !inc.Chronic && inc.Windows >= t.cfg.ChronicAfter &&
+				t.openedSeq[key] < t.firstAlertSeq+t.cfg.BaselineWindows {
+				inc.Chronic = true
+			}
 			out = append(out, *inc)
 			continue
 		}
 		inc.StillFiring = false
 		resolved = append(resolved, *inc)
 		delete(t.open, key)
+		delete(t.openedSeq, key)
 	}
 	sortIncidents(out)
 	sortIncidents(resolved)

@@ -6,7 +6,7 @@ import (
 )
 
 func TestIncidentContinuity(t *testing.T) {
-	tr := NewIncidentTracker()
+	tr := NewIncidentTracker(IncidentConfig{})
 	t0 := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
 	alert := func(at time.Time, step int) JobAlert {
 		return JobAlert{Job: 1, Alert: Alert{
@@ -49,8 +49,73 @@ func TestIncidentContinuity(t *testing.T) {
 	}
 }
 
+// TestIncidentChronicClassification pins the baseline learner: an anomaly
+// firing from (effectively) the first observed window onward is a property
+// of the deployment — chronic — while one appearing after the baseline
+// period is an event, however long it persists.
+func TestIncidentChronicClassification(t *testing.T) {
+	tr := NewIncidentTracker(IncidentConfig{ChronicAfter: 3, BaselineWindows: 2})
+	t0 := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+	chronicAlert := func(w int) JobAlert {
+		return JobAlert{Job: 1, Alert: Alert{
+			Kind: AlertCrossGroup, GroupAnchor: 7, Time: t0.Add(time.Duration(w) * time.Minute),
+		}}
+	}
+	eventAlert := func(w int) JobAlert {
+		return JobAlert{Job: 1, Alert: Alert{
+			Kind: AlertCrossStep, Rank: 3, Time: t0.Add(time.Duration(w) * time.Minute),
+		}}
+	}
+
+	// Leading empty windows must not consume the baseline period: the
+	// monitor can anchor its grid well before the first alert.
+	tr.Observe(nil)
+	tr.Observe(nil)
+
+	find := func(incs []Incident, kind AlertKind) *Incident {
+		for i := range incs {
+			if incs[i].Key.Kind == kind {
+				return &incs[i]
+			}
+		}
+		return nil
+	}
+
+	var incs []Incident
+	for w := 0; w < 6; w++ {
+		alerts := []JobAlert{chronicAlert(w)}
+		if w >= 4 { // the event fault appears after the baseline period
+			alerts = append(alerts, eventAlert(w))
+		}
+		incs = tr.Observe(alerts)
+		cg := find(incs, AlertCrossGroup)
+		if cg == nil {
+			t.Fatalf("window %d: cross-group incident missing", w)
+		}
+		if wantChronic := w >= 2; cg.Chronic != wantChronic { // ChronicAfter=3 windows reached at w=2
+			t.Errorf("window %d: baseline incident Chronic = %v, want %v", w, cg.Chronic, wantChronic)
+		}
+	}
+	// The late-opening incident has fired 2 windows; run it past
+	// ChronicAfter: it must stay non-chronic — it opened after the
+	// baseline learning period.
+	for w := 6; w < 10; w++ {
+		incs = tr.Observe([]JobAlert{chronicAlert(w), eventAlert(w)})
+		ev := find(incs, AlertCrossStep)
+		if ev == nil {
+			t.Fatalf("window %d: cross-step incident missing", w)
+		}
+		if ev.Chronic {
+			t.Fatalf("window %d: post-baseline incident classified chronic: %+v", w, *ev)
+		}
+		if cg := find(incs, AlertCrossGroup); !cg.Chronic {
+			t.Errorf("window %d: chronic flag must be sticky", w)
+		}
+	}
+}
+
 func TestIncidentKeysSeparateDimensions(t *testing.T) {
-	tr := NewIncidentTracker()
+	tr := NewIncidentTracker(IncidentConfig{})
 	at := time.Now()
 	incs := tr.Observe([]JobAlert{
 		{Job: 2, Alert: Alert{Kind: AlertCrossStep, Rank: 5, Time: at}},
@@ -90,7 +155,7 @@ func TestCrossGroupKeyIsPositionIndependent(t *testing.T) {
 	// The same physical DP group renumbers from index 2 to index 1 when a
 	// sibling group carries no traffic in the next window; the incident
 	// must continue, keyed on the group's anchor endpoint.
-	tr := NewIncidentTracker()
+	tr := NewIncidentTracker(IncidentConfig{})
 	at := time.Now()
 	a := Alert{Kind: AlertCrossGroup, Group: 2, GroupAnchor: 30, Time: at}
 	b := Alert{Kind: AlertCrossGroup, Group: 1, GroupAnchor: 30, Time: at.Add(time.Minute)}

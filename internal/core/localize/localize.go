@@ -173,9 +173,16 @@ type Suspect struct {
 	// FirstSeen and Windows are cross-window continuity, stamped by the
 	// monitor's suspect tracker (zero outside the monitor): the window
 	// start at which this component first became a suspect and the count
-	// of consecutive windows it has stayed one.
+	// of windows it has been one (missed windows inside the tracker's
+	// grace do not reset the run).
 	FirstSeen time.Time
 	Windows   int
+	// Fused is the component's cross-window fused suspiciousness — the
+	// running sum of its per-window Score over the windows of its current
+	// run, stamped by the tracker (zero outside the monitor). Brief noise
+	// contributes one window's score; a real fault keeps accumulating, so
+	// ranking by Fused washes the noise out.
+	Fused float64
 }
 
 // Config tunes localization.
@@ -187,6 +194,13 @@ type Config struct {
 	// MaxContrast clamps the bandwidth-contrast factor (and its
 	// reciprocal). Default 16.
 	MaxContrast float64
+	// Filter, when non-nil, gates which alerts count as localization
+	// evidence: an alert for which it returns false implicates no flows.
+	// job is the alert's Job.ID (0 for fabric-level switch alerts). The
+	// monitor uses it to exclude chronic-baseline incidents — an anomaly
+	// firing since window 0 is a structural property whose evidence would
+	// only drag suspicion toward healthy components.
+	Filter func(job int, a diagnose.Alert) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +230,9 @@ const linkDominanceContrast = 2
 // Job is one recognized job's analysis output, the per-job slice of the
 // report the localizer consumes.
 type Job struct {
+	// ID is the job's stable cross-window identity (the monitor's JobID),
+	// passed to Config.Filter. Zero outside the monitor.
+	ID int
 	// Records are the job's flow records in (start, id) order, switch
 	// paths included.
 	Records []flow.Record
@@ -249,12 +266,19 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 	cfg = cfg.withDefaults()
 
 	// Deduplicate alerts into implication targets: a rank slow in ten
-	// steps implicates its flows once, not ten times.
+	// steps implicates its flows once, not ten times. The evidence filter
+	// runs here, before any implication is recorded, so a filtered alert
+	// contributes nothing anywhere downstream.
+	keep := func(job int, a diagnose.Alert) bool {
+		return cfg.Filter == nil || cfg.Filter(job, a)
+	}
 	flaggedSwitches := make(map[flow.SwitchID]bool)
 	for _, a := range switchAlerts {
 		switch a.Kind {
 		case diagnose.AlertSwitchBandwidth, diagnose.AlertSwitchFlowCount:
-			flaggedSwitches[a.Switch] = true
+			if keep(0, a) {
+				flaggedSwitches[a.Switch] = true
+			}
 		}
 	}
 	type jobTargets struct {
@@ -266,6 +290,9 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 	for ji, job := range jobs {
 		t := jobTargets{ranks: make(map[flow.Addr]bool), members: make(map[flow.Addr]bool)}
 		for _, a := range job.Alerts {
+			if !keep(job.ID, a) {
+				continue
+			}
 			switch a.Kind {
 			case diagnose.AlertCrossStep:
 				t.ranks[a.Rank] = true

@@ -152,6 +152,47 @@ func TestLocalizeSwitchAlertInsideJob(t *testing.T) {
 	}
 }
 
+// TestLocalizeFilterExcludesEvidence: a Filter rejecting an alert removes
+// it from the implication evidence — with every alert filtered the window
+// localizes to nothing, and a selective filter changes which rows are
+// implicated exactly as if the alert had not fired.
+func TestLocalizeFilterExcludesEvidence(t *testing.T) {
+	job := Job{
+		ID: 4,
+		Records: []flow.Record{
+			rec(1, 1, 2, 20, 10, 20, 11),
+			rec(2, 1, 4, 20, 10, 21, 12),
+			rec(3, 3, 4, 150, 12, 20, 11),
+		},
+		Alerts: []diagnose.Alert{{Kind: diagnose.AlertCrossStep, Rank: 1}},
+	}
+	swAlert := []diagnose.Alert{{Kind: diagnose.AlertSwitchBandwidth, Switch: 20}}
+
+	drop := Config{Filter: func(jobID int, a diagnose.Alert) bool { return false }}
+	if s := Localize([]Job{job}, swAlert, drop); s != nil {
+		t.Errorf("all-rejecting filter still produced suspects: %+v", s)
+	}
+
+	// Filter out only the fabric-level switch alert, keyed on the job id
+	// the filter receives (0 for fabric alerts): the result must equal a
+	// run where that alert never fired.
+	var sawJob bool
+	keepJob := Config{Filter: func(jobID int, a diagnose.Alert) bool {
+		if jobID == 4 {
+			sawJob = true
+		}
+		return jobID != 0
+	}}
+	got := Localize([]Job{job}, swAlert, keepJob)
+	want := Localize([]Job{job}, nil, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("filtered run diverges from alert-free run:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !sawJob {
+		t.Error("filter never saw the job's stable id")
+	}
+}
+
 // TestLocalizeNoAlertsNoSuspects: a quiet window localizes to nothing.
 func TestLocalizeNoAlertsNoSuspects(t *testing.T) {
 	job := Job{Records: []flow.Record{rec(1, 1, 2, 100, 10)}}
@@ -218,7 +259,9 @@ func TestLocalizeLimits(t *testing.T) {
 }
 
 func TestTrackerContinuity(t *testing.T) {
-	tr := NewTracker()
+	// Grace disabled: the historical strict semantics — one missed window
+	// forgets the suspect.
+	tr := NewTracker(TrackerConfig{Grace: -1})
 	at := epoch
 	w0 := []Suspect{{Component: SwitchComponent(7)}, {Component: HostComponent(3)}}
 	tr.Observe(at, w0)
@@ -241,6 +284,86 @@ func TestTrackerContinuity(t *testing.T) {
 	tr.Observe(at.Add(2*time.Minute), w2)
 	if w2[0].Windows != 1 || !w2[0].FirstSeen.Equal(at.Add(2*time.Minute)) {
 		t.Errorf("reappeared suspect = %+v, want a new run", w2[0])
+	}
+}
+
+// TestTrackerFlappingFaultKeepsRun is the regression test for the
+// historical forget-on-first-miss bug: a flapping fault — suspect in
+// alternating windows — reset FirstSeen, Windows and the fused score on
+// every reappearance, so a fault flapping for an hour looked like a
+// never-ending parade of brand-new one-window suspects. With the default
+// one-window grace the run survives the gaps.
+func TestTrackerFlappingFaultKeepsRun(t *testing.T) {
+	// Decay 1 (pure sum) keeps the expected fused values exact.
+	tr := NewTracker(TrackerConfig{Decay: 1})
+	at := epoch
+	sw := SwitchComponent(4)
+	for i := 0; i < 6; i++ {
+		var w []Suspect
+		if i%2 == 0 { // fires in windows 0, 2, 4
+			w = []Suspect{{Component: sw, Score: 0.5}}
+		}
+		tr.Observe(at.Add(time.Duration(i)*time.Minute), w)
+		if i%2 == 0 {
+			s := w[0]
+			if !s.FirstSeen.Equal(at) {
+				t.Fatalf("window %d: FirstSeen = %v, want %v (run must survive one-window gaps)", i, s.FirstSeen, at)
+			}
+			if want := i/2 + 1; s.Windows != want {
+				t.Fatalf("window %d: Windows = %d, want %d", i, s.Windows, want)
+			}
+			if want := 0.5 * float64(i/2+1); s.Fused != want {
+				t.Fatalf("window %d: Fused = %v, want %v (score keeps accumulating)", i, s.Fused, want)
+			}
+		}
+		if tr.Open() != 1 {
+			t.Fatalf("window %d: open = %d, want 1 (grace keeps the suspect)", i, tr.Open())
+		}
+	}
+	// Two consecutive misses exceed the grace: the run ends.
+	tr.Observe(at.Add(6*time.Minute), nil)
+	tr.Observe(at.Add(7*time.Minute), nil)
+	if tr.Open() != 0 {
+		t.Errorf("open = %d, want 0 after two consecutive misses", tr.Open())
+	}
+	w := []Suspect{{Component: sw, Score: 0.5}}
+	tr.Observe(at.Add(8*time.Minute), w)
+	if w[0].Windows != 1 || w[0].Fused != 0.5 {
+		t.Errorf("post-forget reappearance = %+v, want a fresh run", w[0])
+	}
+}
+
+// TestTrackerFusedRanking: the fused list ranks by the decayed running
+// score across windows, not the latest window's snapshot — a component
+// that keeps scoring overtakes a one-window spike, whose stale evidence
+// fades — and survivors inside their grace window stay listed.
+func TestTrackerFusedRanking(t *testing.T) {
+	tr := NewTracker(TrackerConfig{}) // default Decay 0.5
+	at := epoch
+	steady := SwitchComponent(1) // scores 0.75 every window
+	spike := HostComponent(9)    // scores 1.25 once
+	tr.Observe(at, []Suspect{{Component: spike, Score: 1.25}, {Component: steady, Score: 0.75}})
+	tr.Observe(at.Add(time.Minute), []Suspect{{Component: steady, Score: 0.75}})
+
+	fused := tr.Fused()
+	if len(fused) != 2 {
+		t.Fatalf("fused = %d entries, want 2 (spike still inside grace)", len(fused))
+	}
+	if fused[0].Component != steady || fused[0].Fused != 1.125 { // 0.75*0.5 + 0.75
+		t.Errorf("top fused = %+v, want the steady switch at 1.125", fused[0])
+	}
+	if fused[1].Component != spike || fused[1].Fused != 0.625 { // 1.25 decayed across the miss
+		t.Errorf("second fused = %+v, want the faded spike at 0.625", fused[1])
+	}
+	if fused[0].Windows != 2 || !fused[0].FirstSeen.Equal(at) {
+		t.Errorf("steady continuity = windows %d first seen %v", fused[0].Windows, fused[0].FirstSeen)
+	}
+
+	// MaxFused bounds the list.
+	small := NewTracker(TrackerConfig{MaxFused: 1})
+	small.Observe(at, []Suspect{{Component: spike, Score: 1.0}, {Component: steady, Score: 0.4}})
+	if got := small.Fused(); len(got) != 1 || got[0].Component != spike {
+		t.Errorf("MaxFused=1 fused = %+v, want just the spike", got)
 	}
 }
 

@@ -1,52 +1,149 @@
 package localize
 
-import "time"
+import (
+	"sort"
+	"time"
+)
+
+// TrackerConfig tunes cross-window suspect continuity and fusion.
+type TrackerConfig struct {
+	// Grace is how many consecutive windows a suspect may miss before the
+	// tracker forgets it. The historical behavior — forget on the first
+	// miss — turned every flapping fault into a parade of fresh suspects,
+	// resetting FirstSeen/Windows and the fused score on each
+	// reappearance. Default 1 (one missed window tolerated); negative
+	// disables the grace entirely.
+	Grace int
+	// MaxFused bounds the list Fused returns. Default 8.
+	MaxFused int
+	// Decay is the retention factor applied to a component's fused sum on
+	// every observed window — hit or miss — before the window's score (0
+	// on a miss) is added. It bounds how long stale evidence outranks
+	// fresh: without it, two pre-fault windows of accumulated noise top
+	// the fused list in a real fault's first window. 1 disables decay
+	// (pure running sum); 0 applies the default 0.5.
+	Decay float64
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	if c.Grace == 0 {
+		c.Grace = 1
+	}
+	if c.Grace < 0 {
+		c.Grace = 0
+	}
+	if c.MaxFused <= 0 {
+		c.MaxFused = 8
+	}
+	if c.Decay <= 0 || c.Decay > 1 {
+		c.Decay = 0.5
+	}
+	return c
+}
 
 // Tracker carries suspect identity across analysis windows, the
 // localization counterpart of diagnose.IncidentTracker: a component that
 // stays suspect window after window is one ongoing root-cause hypothesis,
-// keyed on its physical identity, not a fresh finding per window. It is
-// not safe for concurrent use; the monitor drives it from the in-order
-// report emission path, so its output is deterministic regardless of how
-// many windows analyze in parallel.
+// keyed on its physical identity, not a fresh finding per window. Beyond
+// continuity stamping it fuses suspiciousness across windows — each
+// observed window adds the component's per-window Score to an
+// exponentially decayed running sum — so the Fused ranking is the
+// incident-centric view: brief noise contributes once and fades, a real
+// fault keeps accumulating faster than it decays, and concurrent faults
+// separate by how consistently each component scores. It is not safe for
+// concurrent use; the monitor drives it from the in-order report emission
+// path, so its output is deterministic regardless of how many windows
+// analyze in parallel.
 type Tracker struct {
-	open map[Component]track
+	cfg  TrackerConfig
+	open map[Component]*track
 }
 
 type track struct {
 	firstSeen time.Time
 	windows   int
+	fused     float64
+	missed    int
+	// last is the most recent per-window Suspect observed for the
+	// component, the basis of its entry in the Fused ranking.
+	last Suspect
 }
 
-// NewTracker returns an empty tracker.
-func NewTracker() *Tracker {
-	return &Tracker{open: make(map[Component]track)}
+// NewTracker returns an empty tracker. The zero cfg applies the documented
+// defaults (one window of grace).
+func NewTracker(cfg TrackerConfig) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), open: make(map[Component]*track)}
 }
 
 // Observe folds one window's ranked suspects (at is the window start) into
-// the tracker and stamps each suspect's FirstSeen and Windows continuity
-// fields in place. Components absent from this window's list are
-// forgotten — a reappearance starts a new run.
+// the tracker and stamps each suspect's FirstSeen, Windows and Fused
+// continuity fields in place. Per-component fused sums decay by cfg.Decay
+// and accumulate independently, in window order, so the result is
+// deterministic for deterministic input. A component absent from this
+// window's list survives up to Grace consecutive misses — its run resumes
+// on reappearance, with the fused score decayed across the gap — and is
+// forgotten beyond that.
 func (t *Tracker) Observe(at time.Time, suspects []Suspect) {
 	seen := make(map[Component]bool, len(suspects))
 	for i := range suspects {
 		c := suspects[i].Component
 		tr, ok := t.open[c]
 		if !ok {
-			tr = track{firstSeen: at}
+			tr = &track{firstSeen: at}
+			t.open[c] = tr
 		}
 		tr.windows++
-		t.open[c] = tr
+		tr.fused = tr.fused*t.cfg.Decay + suspects[i].Score
+		tr.missed = 0
 		suspects[i].FirstSeen = tr.firstSeen
 		suspects[i].Windows = tr.windows
+		suspects[i].Fused = tr.fused
+		tr.last = suspects[i]
 		seen[c] = true
 	}
-	for c := range t.open {
-		if !seen[c] {
+	for c, tr := range t.open {
+		if seen[c] {
+			continue
+		}
+		tr.fused *= t.cfg.Decay
+		tr.missed++
+		if tr.missed > t.cfg.Grace {
 			delete(t.open, c)
 		}
 	}
 }
 
-// Open returns the number of components currently suspect.
+// Fused returns the cross-window fused ranking over every component the
+// tracker currently holds — including ones inside their grace window —
+// ordered by (fused score desc, kind, identity) and bounded by
+// cfg.MaxFused. Each entry is the component's most recent per-window
+// suspect with the continuity fields brought up to date; the slice is
+// freshly allocated.
+func (t *Tracker) Fused() []Suspect {
+	out := make([]Suspect, 0, len(t.open))
+	for c, tr := range t.open {
+		s := tr.last
+		s.Component = c
+		s.FirstSeen = tr.firstSeen
+		s.Windows = tr.windows
+		s.Fused = tr.fused
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fused != out[j].Fused {
+			return out[i].Fused > out[j].Fused
+		}
+		return out[i].Component.less(out[j].Component)
+	})
+	if len(out) > t.cfg.MaxFused {
+		out = out[:t.cfg.MaxFused]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Open returns the number of components currently suspect (grace-window
+// survivors included).
 func (t *Tracker) Open() int { return len(t.open) }

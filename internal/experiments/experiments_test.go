@@ -201,11 +201,14 @@ func TestAblationRingCount(t *testing.T) {
 }
 
 // TestLocalizationMatrixShortGrid runs the localization scenario matrix on
-// the reduced grid (the -short configuration: first load level only) and
-// holds it to the acceptance bar: every single-fault scenario must place
-// the injected component at rank 1 in at least 80% of the windows where
-// its corresponding alert fired, and the multi-fault scenario must recover
-// at least half its faults within the top K. Unlike the paper-figure
+// the reduced grid (the -short configuration: every scenario at 1x load,
+// plus the historically weakest cell, fabric-link-degrade at 2x) and holds
+// the fused cross-window ranking to the acceptance bar: every single-fault
+// scenario must place the injected component at rank 1 in at least 80% of
+// the windows where its corresponding alert fired, the multi-fault
+// scenarios must recover at least half their faults within the top K, and
+// the 2x fabric-link-degrade cell must beat the 67% top-1 the per-window
+// ranking plateaued at before localization fusion. Unlike the paper-figure
 // experiments this is not skipped in -short — it is the regression gate
 // for the localization engine.
 func TestLocalizationMatrixShortGrid(t *testing.T) {
@@ -213,25 +216,37 @@ func TestLocalizationMatrixShortGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 5 {
-		t.Fatalf("reduced grid rows = %d, want 5 (one load level)", len(res.Rows))
+	if len(res.Rows) != 8 {
+		t.Fatalf("reduced grid rows = %d, want 8 (7 scenarios at 1x + fabric-link-degrade at 2x)", len(res.Rows))
 	}
+	var sawWeakestCell bool
 	for _, row := range res.Rows {
 		if row.Load != "1x" {
-			t.Errorf("%s: reduced grid ran load %s, want 1x only", row.Scenario, row.Load)
+			if row.Scenario != "fabric-link-degrade" || row.Load != "2x" {
+				t.Errorf("%s: reduced grid ran unexpected cell at load %s", row.Scenario, row.Load)
+			}
 		}
 		if row.Score.Windows == 0 {
-			t.Errorf("%s: no window was scored (detectors never fired during the fault)", row.Scenario)
+			t.Errorf("%s/%s: no window was scored (detectors never fired during the fault)", row.Scenario, row.Load)
 			continue
+		}
+		if row.Scenario == "fabric-link-degrade" && row.Load == "2x" {
+			sawWeakestCell = true
+			if got := row.Score.Top1Rate(); got <= 0.67 {
+				t.Errorf("fabric-link-degrade/2x: fused top-1 rate %.0f%% has regressed to the pre-fusion plateau (want > 67%%)", 100*got)
+			}
 		}
 		if row.SingleFault {
 			if got := row.Score.Top1Rate(); got < 0.8 {
-				t.Errorf("%s: top-1 rate %.0f%% < 80%% over %d scored windows",
-					row.Scenario, 100*got, row.Score.Windows)
+				t.Errorf("%s/%s: top-1 rate %.0f%% < 80%% over %d scored windows",
+					row.Scenario, row.Load, 100*got, row.Score.Windows)
 			}
 		} else if got := row.Score.Recall(); got < 0.5 {
-			t.Errorf("%s: top-%d recall %.0f%% < 50%%", row.Scenario, res.K, 100*got)
+			t.Errorf("%s/%s: top-%d recall %.0f%% < 50%%", row.Scenario, row.Load, res.K, 100*got)
 		}
+	}
+	if !sawWeakestCell {
+		t.Error("reduced grid missing the fabric-link-degrade 2x cell")
 	}
 	if !strings.Contains(res.Report(), "root-cause localization") {
 		t.Error("report missing the localization table")

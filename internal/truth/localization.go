@@ -21,6 +21,19 @@ type LocalizedWindow struct {
 	// an alert corresponding to that fault fired.
 	Alerts   []diagnose.Alert
 	Suspects []localize.Suspect
+	// Fused, when non-nil, is the incident-centric cross-window fused
+	// ranking as of this window (localize.Tracker.Fused); scoring prefers
+	// it over the single-window Suspects list.
+	Fused []localize.Suspect
+}
+
+// Ranked returns the suspect list the window should be scored on: the
+// cross-window fused ranking when present, the per-window list otherwise.
+func (w LocalizedWindow) Ranked() []localize.Suspect {
+	if w.Fused != nil {
+		return w.Fused
+	}
+	return w.Suspects
 }
 
 // FaultComponent maps an injected fault to the fabric component the
@@ -186,11 +199,12 @@ func ScoreLocalization(topo *topology.Topology, sched faults.Schedule, epoch tim
 				active = append(active, comp)
 			}
 		}
-		if len(active) == 0 || len(w.Suspects) == 0 {
+		ranked := w.Ranked()
+		if len(active) == 0 || len(ranked) == 0 {
 			continue
 		}
 		score.Windows++
-		top := w.Suspects
+		top := ranked
 		if len(top) > k {
 			top = top[:k]
 		}
@@ -205,7 +219,7 @@ func ScoreLocalization(topo *topology.Topology, sched faults.Schedule, epoch tim
 		}
 		for _, comp := range active {
 			score.FaultWindows++
-			if w.Suspects[0].Component == comp {
+			if ranked[0].Component == comp {
 				score.Top1++
 			}
 			for _, s := range top {

@@ -63,8 +63,13 @@
 // change-point detectors are reused via Reset instead of rebuilt, and
 // Report.Incidents tracks each anomaly's first-seen/still-firing state so
 // a persistent fault is one ongoing incident, not one alert pile per
-// window. The cmd/llmprism CLI exposes this as the monitor subcommand
-// (-window, -hop, -lateness).
+// window. WithChronicSuppression goes further: anomalies firing since the
+// monitor's first windows that never resolve are classified chronic and
+// suppressed from the alert surface and localization evidence, and with
+// localization enabled Report.FusedSuspects accumulates each suspect
+// component's score across windows so one persistent root cause outranks
+// per-window noise. The cmd/llmprism CLI exposes this as the monitor
+// subcommand (-window, -hop, -lateness, -localize, -suppress-chronic).
 package llmprism
 
 import (
@@ -131,6 +136,17 @@ func WithMaxConcurrentDPFlows(n int) Option {
 // population.
 func WithSwitchTiers(tier func(SwitchID) int) Option {
 	return func(c *Config) { c.Diagnosis.SwitchTier = tier }
+}
+
+// WithGroupRails stratifies the cross-group peer comparison by the given
+// rail classifier over DP-group anchor endpoints, the group-side mirror of
+// WithSwitchTiers: groups are judged only against peers of their own rail
+// class, because rails carry structurally different collective-segment
+// durations (the trailing rail absorbs the collective's serialization tail
+// every step, and pooling makes its groups fire chronic false alerts). The
+// default compares all of a job's groups in one population.
+func WithGroupRails(rail func(Addr) int) Option {
+	return func(c *Config) { c.Diagnosis.GroupRail = rail }
 }
 
 // WithLocalization enables root-cause localization: every report gains a
@@ -222,8 +238,17 @@ type Report struct {
 	// spectrum suspiciousness over alert-implicated vs healthy flows. Nil
 	// unless the analyzer was built WithLocalization, or when no alert
 	// fired. Inside the monitor each suspect also carries FirstSeen /
-	// Windows continuity keyed on the component's physical identity.
+	// Windows / Fused continuity keyed on the component's physical
+	// identity.
 	Suspects []localize.Suspect
+	// FusedSuspects is the monitor's incident-centric suspect view: the
+	// cross-window fused ranking (per-component suspiciousness summed over
+	// the windows of its run, one-window flaps tolerated) ordered by fused
+	// score. Where Suspects answers "what does this window point at",
+	// FusedSuspects answers "what does the incident so far point at" —
+	// brief noise washes out, concurrent faults separate. Nil outside the
+	// monitor or without WithLocalization.
+	FusedSuspects []localize.Suspect
 }
 
 // Alerts returns every alert in the report (job-scoped then switch-level),
@@ -356,11 +381,13 @@ func (a *Analyzer) AnalyzeFrameContext(ctx context.Context, f *flow.Frame, mappe
 // localizeReport runs root-cause localization over the merged report. It
 // executes on the in-order merge path (never inside the per-job fan-out),
 // visiting jobs in report order, which is what keeps the suspect list
-// bit-identical for every worker count.
+// bit-identical for every worker count. Job IDs are forwarded for the
+// evidence filter; they are zero outside the monitor's annotate path.
 func localizeReport(r *Report, cfg localize.Config) []localize.Suspect {
 	jobs := make([]localize.Job, len(r.Jobs))
 	for i, jr := range r.Jobs {
 		jobs[i] = localize.Job{
+			ID:       int(jr.JobID),
 			Records:  jr.Records,
 			Types:    jr.Types,
 			DPGroups: jr.DPGroups,

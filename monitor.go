@@ -54,7 +54,14 @@ type WindowInfo struct {
 // stable JobReport.JobID values, per-job change-point detectors are reused
 // across windows via Reset (never rebuilt), and Report.Incidents carries
 // first-seen/still-firing state per anomaly so a persistently slow rank is
-// one ongoing incident rather than one alert pile per window.
+// one ongoing incident rather than one alert pile per window. Two options
+// make the feed fully incident-centric: WithChronicSuppression classifies
+// anomalies that fire from the monitor's first windows and never resolve
+// as chronic — platform steady state, not events — removing them from the
+// alert surface and from localization evidence while keeping their
+// incidents visible; and with localization enabled, Report.FusedSuspects
+// ranks components by suspiciousness fused across the windows they stay
+// suspect, so one persistent root cause rises above per-window noise.
 //
 // Monitor is not safe for concurrent use; feed it from one goroutine, and
 // use either the Feed loop or one Stream session — not both — per
@@ -77,8 +84,16 @@ type Monitor struct {
 	incidents *diagnose.IncidentTracker
 	// suspects carries localization continuity (non-nil only when the
 	// analyzer localizes): a component staying suspect across windows
-	// keeps its first-seen time and windows count.
+	// keeps its first-seen time and windows count, and accumulates the
+	// fused cross-window score behind Report.FusedSuspects.
 	suspects *localize.Tracker
+	// relocalize moves localization from the per-window analysis into
+	// annotate (set when chronic suppression and localization are both on),
+	// so chronic incidents — known only to the monitor's continuity state —
+	// can be excluded from the localization evidence. locCfg is the
+	// localization config the analyzer would have used.
+	relocalize bool
+	locCfg     localize.Config
 
 	streaming bool
 }
@@ -91,6 +106,8 @@ type monitorConfig struct {
 	registry jobrec.RegistryConfig
 	archive  io.Writer
 	anchor   time.Time
+	suppress bool
+	incident diagnose.IncidentConfig
 }
 
 // MonitorOption customizes a Monitor.
@@ -124,6 +141,24 @@ func WithPipelineDepth(n int) MonitorOption {
 // WithJobRegistry tunes cross-window job identity matching.
 func WithJobRegistry(cfg jobrec.RegistryConfig) MonitorOption {
 	return func(c *monitorConfig) { c.registry = cfg }
+}
+
+// WithChronicSuppression makes the monitor classify persistent baseline
+// anomalies as chronic and suppress them from the alert surface. An
+// incident that fires from (effectively) the first observed window and
+// keeps firing is a property of the deployment — a structurally slow
+// trailing-rail DP group, a permanently oversubscribed link — not an
+// event worth re-alerting every window. Once an incident turns chronic
+// (see IncidentConfig), its alerts are removed from JobReport.Alerts and
+// Report.SwitchAlerts, and it is excluded from the localization evidence,
+// so localization ranks genuine faults instead of the deployment's known
+// baseline. The incident itself stays visible in Report.Incidents with
+// Chronic set. The zero cfg applies the documented defaults.
+func WithChronicSuppression(cfg diagnose.IncidentConfig) MonitorOption {
+	return func(c *monitorConfig) {
+		c.suppress = true
+		c.incident = cfg
+	}
 }
 
 // WithArchive makes the monitor's Stream session record every completed
@@ -185,15 +220,25 @@ func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Dura
 	acfg.Parallel.Split.Detectors = bocd.NewPool(acfg.Parallel.Split.BOCD)
 	acfg.Timeline.Split.Detectors = bocd.NewPool(acfg.Timeline.Split.BOCD)
 	m := &Monitor{
-		analyzer:  &Analyzer{cfg: acfg},
 		mapper:    mapper,
 		cfg:       cfg,
 		registry:  jobrec.NewRegistry(cfg.registry),
-		incidents: diagnose.NewIncidentTracker(),
+		incidents: diagnose.NewIncidentTracker(cfg.incident),
 	}
 	if acfg.Localize {
-		m.suspects = localize.NewTracker()
+		m.suspects = localize.NewTracker(localize.TrackerConfig{})
+		if cfg.suppress {
+			// Chronic suppression must filter the localization evidence,
+			// and chronic state lives in the monitor's in-order continuity
+			// path — so localization moves out of the (parallel) analysis
+			// into annotate. Same merged report, same in-order execution,
+			// bit-identical suspects.
+			m.relocalize = true
+			m.locCfg = acfg.Localization
+			acfg.Localize = false
+		}
 	}
+	m.analyzer = &Analyzer{cfg: acfg}
 	return m, nil
 }
 
@@ -363,8 +408,11 @@ func (m *Monitor) analyzeWindow(ctx context.Context, recs []flow.Record, start, 
 }
 
 // annotate stamps cross-window continuity onto one report: stable JobIDs
-// from the registry, and the incident view of the window's alerts. Reports
-// must be annotated in window order; both ingestion paths guarantee that.
+// from the registry, the incident view of the window's alerts (chronic
+// baseline anomalies suppressed from the alert surface and the
+// localization evidence when WithChronicSuppression is on), and the fused
+// cross-window suspect ranking. Reports must be annotated in window order;
+// both ingestion paths guarantee that.
 func (m *Monitor) annotate(r *Report) {
 	clusters := make([]jobrec.Cluster, len(r.Jobs))
 	for i := range r.Jobs {
@@ -382,9 +430,49 @@ func (m *Monitor) annotate(r *Report) {
 		alerts = append(alerts, diagnose.JobAlert{Alert: a})
 	}
 	r.Incidents = m.incidents.Observe(alerts)
+
+	if m.cfg.suppress {
+		chronic := make(map[diagnose.IncidentKey]bool)
+		for _, inc := range r.Incidents {
+			if inc.Chronic && inc.StillFiring {
+				chronic[inc.Key] = true
+			}
+		}
+		if m.relocalize {
+			cfg := m.locCfg
+			if len(chronic) > 0 {
+				cfg.Filter = func(job int, a diagnose.Alert) bool {
+					return !chronic[diagnose.KeyOf(job, a)]
+				}
+			}
+			r.Suspects = localizeReport(r, cfg)
+		}
+		if len(chronic) > 0 {
+			for i := range r.Jobs {
+				r.Jobs[i].Alerts = dropChronic(r.Jobs[i].Alerts, int(ids[i]), chronic)
+			}
+			r.SwitchAlerts = dropChronic(r.SwitchAlerts, 0, chronic)
+		}
+	}
 	if m.suspects != nil {
 		m.suspects.Observe(r.Window.Start, r.Suspects)
+		r.FusedSuspects = m.suspects.Fused()
 	}
+}
+
+// dropChronic filters a job's (or the fabric's, job 0) alerts in place,
+// removing the ones whose incident key is chronic.
+func dropChronic(alerts []diagnose.Alert, job int, chronic map[diagnose.IncidentKey]bool) []diagnose.Alert {
+	kept := alerts[:0]
+	for _, a := range alerts {
+		if !chronic[diagnose.KeyOf(job, a)] {
+			kept = append(kept, a)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
 }
 
 // Flush analyzes whatever remains in the Feed path's buffer, one report

@@ -70,6 +70,12 @@ type (
 	Incident = diagnose.Incident
 	// IncidentKey identifies one logical anomaly across windows.
 	IncidentKey = diagnose.IncidentKey
+	// IncidentConfig tunes the monitor's chronic-baseline classification
+	// (WithChronicSuppression).
+	IncidentConfig = diagnose.IncidentConfig
+	// SuspectTrackerConfig tunes cross-window suspect continuity and
+	// fusion (localize.NewTracker).
+	SuspectTrackerConfig = localize.TrackerConfig
 	// Suspect is one ranked root-cause candidate of a window's alerts
 	// (Report.Suspects, produced WithLocalization).
 	Suspect = localize.Suspect
