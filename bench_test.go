@@ -1,4 +1,4 @@
-package llmprism
+package llmprism_test
 
 // One benchmark per paper table/figure (E1-E5) and per ablation (A1-A3),
 // running the same experiment harness as cmd/repro at reduced scale so a
@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"github.com/llmprism/llmprism"
 	"runtime"
 	"sync"
 	"testing"
@@ -154,15 +155,15 @@ func boolMetric(v bool) float64 {
 var (
 	benchOnce    sync.Once
 	benchRecords []flow.Record
-	benchTopo    *Topology
+	benchTopo    *llmprism.Topology
 	benchErr     error
 )
 
-func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
+func benchTrace(b *testing.B) ([]flow.Record, *llmprism.Topology) {
 	b.Helper()
 	benchOnce.Do(func() {
-		topoSpec := TopologySpec{Nodes: 32, NodesPerLeaf: 8, Spines: 4}
-		jobs, err := PlanJobs(topoSpec, []JobPlan{
+		topoSpec := llmprism.TopologySpec{Nodes: 32, NodesPerLeaf: 8, Spines: 4}
+		jobs, err := llmprism.PlanJobs(topoSpec, []llmprism.JobPlan{
 			{Nodes: 16, TargetStep: 3 * time.Second},
 			{Nodes: 8, TargetStep: 2 * time.Second},
 			{Nodes: 8, TargetStep: 4 * time.Second},
@@ -171,7 +172,7 @@ func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
 			benchErr = err
 			return
 		}
-		res, err := Simulate(Scenario{
+		res, err := llmprism.Simulate(llmprism.Scenario{
 			Name: "bench-trace", Topo: topoSpec, Jobs: jobs,
 			Faults:  faults.Schedule{},
 			Horizon: 60 * time.Second,
@@ -195,7 +196,7 @@ func benchTrace(b *testing.B) ([]flow.Record, *Topology) {
 // It runs at the default worker count (GOMAXPROCS).
 func BenchmarkAnalyzePipeline(b *testing.B) {
 	records, topo := benchTrace(b)
-	analyzer := New()
+	analyzer := llmprism.New()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -218,7 +219,7 @@ func BenchmarkAnalyze(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			analyzer := New(WithWorkers(workers))
+			analyzer := llmprism.New(llmprism.WithWorkers(workers))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := analyzer.AnalyzeContext(context.Background(), records, topo); err != nil {
@@ -237,9 +238,9 @@ func BenchmarkFrameBuild(b *testing.B) {
 	records, _ := benchTrace(b)
 	b.ReportAllocs()
 	b.ResetTimer()
-	var frame *FlowFrame
+	var frame *llmprism.FlowFrame
 	for i := 0; i < b.N; i++ {
-		frame = NewFlowFrame(records)
+		frame = llmprism.NewFlowFrame(records)
 	}
 	b.ReportMetric(float64(len(records)), "records/op")
 	b.ReportMetric(float64(frame.PathTable().NumPaths()), "paths")
@@ -250,8 +251,8 @@ func BenchmarkFrameBuild(b *testing.B) {
 // frames directly and the analyzer never touches a record slice.
 func BenchmarkAnalyzeFrame(b *testing.B) {
 	records, topo := benchTrace(b)
-	frame := NewFlowFrame(records)
-	analyzer := New()
+	frame := llmprism.NewFlowFrame(records)
+	analyzer := llmprism.New()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -412,7 +413,7 @@ func BenchmarkMonitorFeed(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		monitor, err := NewMonitor(New(), topo, monitorBenchWindow)
+		monitor, err := llmprism.NewMonitor(llmprism.New(), topo, monitorBenchWindow)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -439,7 +440,7 @@ func BenchmarkMonitorStream(b *testing.B) {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				monitor, err := NewMonitor(New(), topo, monitorBenchWindow, WithPipelineDepth(depth))
+				monitor, err := llmprism.NewMonitor(llmprism.New(), topo, monitorBenchWindow, llmprism.WithPipelineDepth(depth))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,7 +11,7 @@
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
 //	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize] [-suppress-chronic]
 //	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
-//	llmprism replay   -archive trace.llpa -topo topo.json [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
+//	llmprism replay   -archive trace.llpa -topo topo.json [-recover] [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
@@ -40,13 +40,21 @@
 //
 // record is monitor plus persistence: every completed window's columnar
 // frame is appended to a binary trace archive alongside the printed
-// report. replay reopens such an archive — no flow file, no text parsing,
-// no re-sorting — and pushes the archived windows back through a fresh
-// monitor session on the recorded window grid, reproducing the recorded
-// session's reports bit for bit (run with the same -bucket, -localize and
-// detector settings used to record). Archives written by an unwindowed
-// capture (zero recorded width) take their window geometry from the flags
-// instead.
+// report. The archive is written to a temporary file and renamed into
+// place only after a clean close, so a crashed capture never leaves a
+// half-written file under the requested name. replay reopens such an
+// archive — no flow file, no text parsing, no re-sorting — and pushes the
+// archived windows back through a fresh monitor session on the recorded
+// window grid, reproducing the recorded session's reports bit for bit
+// (run with the same -bucket, -localize and detector settings used to
+// record). Archives written by an unwindowed capture (zero recorded
+// width) take their window geometry from the flags instead.
+//
+// replay -recover salvages a torn or unclosed archive (a crashed capture
+// recovered from its temporary file, a truncated copy): the intact prefix
+// of whole windows replays exactly as it would from the clean archive,
+// and a recovery note describing the salvaged/discarded byte counts goes
+// to stderr so stdout stays comparable line for line.
 package main
 
 import (
@@ -99,6 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
 		localized   = fs.Bool("localize", false, "rank root-cause suspect components (diagnose, monitor, record, replay)")
 		suppress    = fs.Bool("suppress-chronic", false, "suppress persistent anomalies from the alert surface (monitor, record, replay)")
+		salvage     = fs.Bool("recover", false, "salvage the intact prefix of a torn/unclosed archive (replay)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -133,7 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runReplay(ctx, stdout, *archivePath, topo, tiered(topo), *window, *lateness, *depth, *suppress)
+		return runReplay(ctx, stdout, stderr, *archivePath, topo, tiered(topo), *window, *lateness, *depth, *suppress, *salvage)
 	}
 
 	records, topo, err := load(*flowsPath, *topoPath)
@@ -265,10 +274,15 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 	if suppress {
 		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
 	}
+	// The archive is captured under a temporary name and renamed into
+	// place only after a clean close, so an interrupted record run never
+	// leaves a torn file where a finished archive is expected. (The torn
+	// temporary is kept for replay -recover.)
 	var af *os.File
+	tmpPath := archivePath + ".tmp"
 	if archivePath != "" {
 		var err error
-		if af, err = os.Create(archivePath); err != nil {
+		if af, err = os.Create(tmpPath); err != nil {
 			return err
 		}
 		defer af.Close()
@@ -315,7 +329,13 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 	}
 	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", s.Late())
 	if af != nil {
+		if err := af.Sync(); err != nil {
+			return err
+		}
 		if err := af.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmpPath, archivePath); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "archived %d windows to %s\n", windows, archivePath)
@@ -327,7 +347,10 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 // back through a fresh monitor session on the recorded window grid,
 // reproducing the recorded reports bit for bit. Archives from unwindowed
 // captures (zero recorded width) are windowed with the flag geometry.
-func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int, suppress bool) error {
+// With salvage set, torn or unclosed archives are recovered to their
+// intact whole-window prefix; the recovery note goes to stderr so stdout
+// stays line-comparable with a clean replay of the same prefix.
+func runReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int, suppress, salvage bool) error {
 	if archivePath == "" {
 		return fmt.Errorf("replay requires -archive")
 	}
@@ -340,9 +363,21 @@ func runReplay(ctx context.Context, stdout io.Writer, archivePath string, topo *
 	if err != nil {
 		return err
 	}
-	ar, err := archive.OpenReader(f, st.Size())
-	if err != nil {
-		return err
+	var ar *archive.Reader
+	if salvage {
+		var rep *archive.RecoveryReport
+		ar, rep, err = archive.OpenReaderRecovering(f, st.Size())
+		if err != nil {
+			return err
+		}
+		if !rep.Clean {
+			fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", rep)
+		}
+	} else {
+		ar, err = archive.OpenReader(f, st.Size())
+		if err != nil {
+			return err
+		}
 	}
 	meta := ar.Meta()
 	if meta.Width == 0 {

@@ -306,3 +306,101 @@ func TestRunMonitorHopped(t *testing.T) {
 		t.Errorf("monitor output missing hop configuration:\n%s", out.String())
 	}
 }
+
+// TestRunRecordAtomicAndReplayRecover is the CLI crash-safety gate: record
+// must land the archive atomically (no leftover temporary), strict replay
+// must reject a torn copy, and replay -recover must salvage the torn
+// copy's intact window prefix with output line-identical to a clean
+// replay of the same windows — the recovery note going to stderr only.
+func TestRunRecordAtomicAndReplayRecover(t *testing.T) {
+	flows, topo := writeTrace(t)
+	arch := filepath.Join(filepath.Dir(flows), "trace.llpa")
+
+	var recOut strings.Builder
+	err := run(context.Background(), []string{
+		"record", "-flows", flows, "-topo", topo, "-archive", arch,
+		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-bucket", "2s",
+		"-localize",
+	}, &recOut, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(arch); err != nil {
+		t.Fatalf("archive not renamed into place: %v", err)
+	}
+	if _, err := os.Stat(arch + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary archive left behind: stat err = %v", err)
+	}
+
+	var cleanOut strings.Builder
+	err = run(context.Background(), []string{
+		"replay", "-archive", arch, "-topo", topo, "-depth", "2", "-bucket", "2s", "-localize",
+	}, &cleanOut, &cleanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := windowLines(cleanOut.String())
+	if len(want) == 0 {
+		t.Fatalf("clean replay emitted no window lines:\n%s", cleanOut.String())
+	}
+
+	// Tear the trailer off a copy: strict replay must refuse it, -recover
+	// must salvage every archived window and reproduce the clean replay.
+	data, err := os.ReadFile(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(filepath.Dir(flows), "torn.llpa")
+	if err := os.WriteFile(torn, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(context.Background(), []string{
+		"replay", "-archive", torn, "-topo", topo, "-depth", "2", "-bucket", "2s", "-localize",
+	}, &out, &out); err == nil {
+		t.Error("strict replay accepted a torn archive")
+	}
+	var gotOut, gotErr strings.Builder
+	err = run(context.Background(), []string{
+		"replay", "-recover", "-archive", torn, "-topo", topo, "-depth", "2", "-bucket", "2s", "-localize",
+	}, &gotOut, &gotErr)
+	if err != nil {
+		t.Fatalf("replay -recover: %v\nstderr:\n%s", err, gotErr.String())
+	}
+	if !strings.Contains(gotErr.String(), "recovered archive") {
+		t.Errorf("recovery note missing from stderr:\n%s", gotErr.String())
+	}
+	if got := windowLines(gotOut.String()); !slices.Equal(got, want) {
+		t.Errorf("trailer-torn recovery diverges from clean replay:\nclean:\n%s\nrecovered:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"))
+	}
+
+	// Cut mid-archive: the salvaged prefix must replay as a line-for-line
+	// prefix of the clean replay (late-drop summaries excluded — the
+	// recovered session closes earlier).
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotOut.Reset()
+	gotErr.Reset()
+	err = run(context.Background(), []string{
+		"replay", "-recover", "-archive", torn, "-topo", topo, "-depth", "2", "-bucket", "2s", "-localize",
+	}, &gotOut, &gotErr)
+	if err != nil {
+		t.Fatalf("replay -recover (half): %v\nstderr:\n%s", err, gotErr.String())
+	}
+	drop := func(lines []string) []string {
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "late drops") {
+				kept = append(kept, l)
+			}
+		}
+		return kept
+	}
+	got, ref := drop(windowLines(gotOut.String())), drop(want)
+	if len(got) > len(ref) || !slices.Equal(got, ref[:len(got)]) {
+		t.Errorf("mid-cut recovery is not a prefix of the clean replay:\nclean:\n%s\nrecovered:\n%s",
+			strings.Join(ref, "\n"), strings.Join(got, "\n"))
+	}
+}

@@ -20,6 +20,14 @@
 // codec, no re-sorting — verifying the replay reproduces the live reports
 // bit for bit, the workflow an operator uses to re-diagnose a production
 // incident offline.
+//
+// The last act kills the session mid-stream and resumes it: a checkpoint
+// taken at a window boundary captures the monitor's continuity state —
+// window grid position, job registry, incident tracker with its chronic
+// classifications, fused suspect scores — and ResumeMonitor restores it
+// into a fresh process. The feeder re-pushes every record from
+// ResumeFrom on, and the resumed session's reports must match the
+// uninterrupted run's bit for bit from that window to the end.
 package main
 
 import (
@@ -208,4 +216,101 @@ func main() {
 	}
 	fmt.Printf("archived %d windows (%d bytes); replay reproduced all reports bit-for-bit\n",
 		ar.NumSegments(), trace.Len())
+
+	// Kill and resume: replay the trace once more on a finer 15-second
+	// grid — eight windows, so reports release while records still stream —
+	// checkpoint once two windows are out, and abandon the stream there:
+	// the crash. A fresh monitor restores the checkpoint, the feeder
+	// re-pushes every record from ResumeFrom on, and the combined reports
+	// must match an uninterrupted run of the same session exactly.
+	const resumeWindow = 15 * time.Second
+	newSession := func() (*llmprism.MonitorStream, error) {
+		m, err := llmprism.NewMonitor(
+			llmprism.New(llmprism.WithLocalization(llmprism.LocalizationConfig{})),
+			res.Topo, resumeWindow,
+			llmprism.WithLateness(5*time.Second),
+			llmprism.WithPipelineDepth(2),
+			llmprism.WithChronicSuppression(llmprism.IncidentConfig{}),
+		)
+		if err != nil {
+			return nil, err
+		}
+		return m.Stream(context.Background())
+	}
+
+	// The uninterrupted reference on the resume grid.
+	ref, err := newSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var want []*llmprism.Report
+	for at := time.Duration(0); at < 2*time.Minute; at += batch {
+		reports, err := ref.Push(res.Window(at, batch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		want = append(want, reports...)
+	}
+	if reports, err = ref.Close(); err != nil {
+		log.Fatal(err)
+	}
+	want = append(want, reports...)
+
+	crashed, err := newSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var checkpoint bytes.Buffer
+	var head []*llmprism.Report
+	for at := time.Duration(0); at < 2*time.Minute; at += batch {
+		reports, err := crashed.Push(res.Window(at, batch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		head = append(head, reports...)
+		if len(head) >= 2 {
+			if err := crashed.Checkpoint(&checkpoint); err != nil {
+				log.Fatal(err)
+			}
+			break // the "crash": the session is never closed
+		}
+	}
+	resumed, err := llmprism.ResumeMonitor(
+		llmprism.New(llmprism.WithLocalization(llmprism.LocalizationConfig{})),
+		res.Topo, &checkpoint,
+		llmprism.WithPipelineDepth(2),
+		llmprism.WithChronicSuppression(llmprism.IncidentConfig{}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	from := resumed.ResumeFrom()
+	fmt.Printf("\nsession killed after %d windows; resuming from %s\n", len(head), from.Format(time.TimeOnly))
+	resumeStream, err := resumed.Stream(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tail := head
+	for at := time.Duration(0); at < 2*time.Minute; at += batch {
+		var replayRecs []llmprism.FlowRecord
+		for _, rec := range res.Window(at, batch) {
+			if !rec.Start.Before(from) {
+				replayRecs = append(replayRecs, rec)
+			}
+		}
+		reports, err := resumeStream.Push(replayRecs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tail = append(tail, reports...)
+	}
+	if reports, err = resumeStream.Close(); err != nil {
+		log.Fatal(err)
+	}
+	tail = append(tail, reports...)
+	if !reflect.DeepEqual(want, tail) {
+		log.Fatal("resumed session diverged from the uninterrupted run")
+	}
+	fmt.Printf("resumed session reproduced windows %d..%d bit-for-bit\n",
+		len(head), len(tail)-1)
 }

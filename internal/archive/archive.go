@@ -36,13 +36,30 @@
 // including windows before the anchor that out-of-order stragglers opened.
 // The magic carries the version digit; an incompatible layout bumps it.
 //
-// # Durability
+// # Durability and recovery
 //
 // Segments are self-contained and self-checksummed: each frame blob
 // carries its own CRC, the manifest carries one over its entries, and the
 // reader verifies both plus every manifest offset before use. A truncated
 // or bit-flipped archive fails to open loudly instead of replaying a
 // silently different trace.
+//
+// Strict rejection is the right default for a file that claims to be
+// complete, but captures cut off mid-write (a crashed recorder, a full
+// disk, a copied-while-writing file) are the production norm, and their
+// intact prefix is still trustworthy: every fully-written segment carries
+// its own checksum. Recover rebuilds the manifest by scanning segments
+// front to back — each segment header is sanity-checked, its frame blob
+// must begin with the LPF1 magic and decode with a valid CRC, and segment
+// seqs must increase — salvaging the longest valid prefix and reporting
+// exactly where and why the scan stopped plus how many tail bytes were
+// discarded. The trailer (and with it the recorded grid anchor) is lost on
+// an unclosed archive; the salvage reconstructs the replay anchor from the
+// first salvaged segment's start time, which lies on the original grid
+// (every emitted window start is the anchor plus a whole number of hops),
+// so a recovered prefix replays bit-identical to the same windows of the
+// uninterrupted session. OpenReaderRecovering is the lenient entry point:
+// strict open first, salvage scan on failure.
 package archive
 
 import (
@@ -209,15 +226,21 @@ func (aw *Writer) Segments() int { return len(aw.segs) }
 
 // Close writes the manifest and trailer. It does not close the underlying
 // writer. A writer whose Close fails (or is never called) leaves an archive
-// without a manifest, which OpenReader rejects.
+// without a manifest, which OpenReader rejects and Recover salvages.
+//
+// Close is idempotent and sticky: the first call decides the outcome, and
+// every later call returns that same outcome without writing anything —
+// a writer that has latched an error never emits a trailer and never
+// reports spurious success, and a successfully closed writer never emits
+// a second trailer.
 func (aw *Writer) Close() error {
+	if aw.closed {
+		return aw.err
+	}
+	aw.closed = true
 	if aw.err != nil {
 		return aw.err
 	}
-	if aw.closed {
-		return fmt.Errorf("archive: writer already closed")
-	}
-	aw.closed = true
 	manifestOff := aw.n
 	manifest := make([]byte, 0, len(aw.segs)*manifestedSize)
 	for _, s := range aw.segs {

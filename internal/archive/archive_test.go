@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -11,6 +12,8 @@ import (
 )
 
 var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+var errDiskFull = errors.New("disk full")
 
 func windowRecords(seed int64, n int, base time.Duration) []flow.Record {
 	rng := rand.New(rand.NewSource(seed))
@@ -197,11 +200,56 @@ func TestWriterMisuse(t *testing.T) {
 	if err := aw.Append(4, epoch, epoch.Add(time.Second), f); err == nil {
 		t.Error("append after Close accepted")
 	}
-	if err := aw.Close(); err == nil {
-		t.Error("double Close accepted")
+	sealed := buf.Len()
+	if err := aw.Close(); err != nil {
+		t.Errorf("second Close after success = %v, want nil", err)
+	}
+	if buf.Len() != sealed {
+		t.Errorf("second Close wrote %d bytes", buf.Len()-sealed)
 	}
 	if _, err := NewWriter(&buf, Meta{Width: -time.Second}); err == nil {
 		t.Error("negative width accepted")
+	}
+}
+
+// failAfterWriter fails every write once n bytes have been accepted.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterCloseStickyOnError(t *testing.T) {
+	sink := &failAfterWriter{n: headerSize + segHeaderSize + 10, err: errDiskFull}
+	aw, err := NewWriter(sink, Meta{Width: time.Second, Hop: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flow.NewFrame(windowRecords(1, 10, 0))
+	if err := aw.Append(0, epoch, epoch.Add(time.Second), f); err == nil {
+		t.Fatal("append over a full disk succeeded")
+	}
+	first := aw.Close()
+	if first == nil {
+		t.Fatal("Close after failed write reported success")
+	}
+	// Idempotent and sticky: the second Close reports the same failure and
+	// writes nothing — in particular no trailer that would make the torn
+	// file look cleanly closed.
+	if second := aw.Close(); second != first {
+		t.Errorf("second Close = %v, want latched %v", second, first)
 	}
 }
 

@@ -1,0 +1,172 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// RecoveryReport describes what a salvage scan kept and what it discarded.
+type RecoveryReport struct {
+	// Clean is true when the archive opened strictly (valid manifest and
+	// trailer) and no salvage was needed.
+	Clean bool
+	// Segments is the number of intact prefix segments salvaged (or, when
+	// Clean, the number of manifested segments).
+	Segments int
+	// SalvagedBytes is the length of the valid prefix, including the
+	// 32-byte header. LostBytes is the discarded tail; the two sum to the
+	// file size.
+	SalvagedBytes, LostBytes int64
+	// Reason says why the scan stopped (empty when Clean, "end of data"
+	// when the file ends exactly on a segment boundary with no trailer).
+	Reason string
+	// Anchor is the replay grid origin: the recorded trailer anchor when
+	// Clean, otherwise reconstructed from the first salvaged segment's
+	// window start (which lies on the original grid). Zero when nothing
+	// was salvaged or the capture is unwindowed.
+	Anchor time.Time
+}
+
+func (rep *RecoveryReport) String() string {
+	if rep.Clean {
+		return fmt.Sprintf("archive clean: %d segments, %d bytes", rep.Segments, rep.SalvagedBytes)
+	}
+	return fmt.Sprintf("archive recovered: %d segments salvaged (%d bytes), %d bytes discarded: %s",
+		rep.Segments, rep.SalvagedBytes, rep.LostBytes, rep.Reason)
+}
+
+// Recover salvages the intact prefix of an unclosed or torn archive. It
+// validates the header strictly, then scans segments front to back; each
+// segment must carry a plausible header (seq strictly increasing, blob
+// length within the file), its blob must begin with the frame magic and
+// decode with a valid checksum, and the decoded row count must match the
+// segment header. The scan stops at the first violation — everything
+// before it is trustworthy, everything after is discarded — and the
+// rebuilt manifest is returned as a Reader alongside a report of what was
+// lost. Only a corrupt header is an error; a file holding zero intact
+// segments recovers to an empty reader.
+func Recover(r io.ReaderAt, size int64) (*Reader, *RecoveryReport, error) {
+	if size < headerSize {
+		return nil, nil, fmt.Errorf("archive: %d bytes is too small for an archive header", size)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, nil, fmt.Errorf("archive: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, nil, fmt.Errorf("archive: bad magic %q", hdr[:4])
+	}
+	meta := Meta{
+		Width:    time.Duration(binary.LittleEndian.Uint64(hdr[8:])),
+		Hop:      time.Duration(binary.LittleEndian.Uint64(hdr[16:])),
+		Lateness: time.Duration(binary.LittleEndian.Uint64(hdr[24:])),
+	}
+	if meta.Width < 0 || meta.Hop < 0 || meta.Lateness < 0 {
+		return nil, nil, fmt.Errorf("archive: negative window geometry in header")
+	}
+
+	var (
+		segs    []Segment
+		off     = int64(headerSize)
+		lastSeq = int64(math.MinInt64)
+		reason  = "end of data"
+	)
+	var sh [segHeaderSize]byte
+scan:
+	for {
+		if size-off < segHeaderSize {
+			if off != size {
+				reason = fmt.Sprintf("truncated segment header at offset %d", off)
+			}
+			break
+		}
+		if _, err := r.ReadAt(sh[:], off); err != nil {
+			reason = fmt.Sprintf("read segment header at offset %d: %v", off, err)
+			break
+		}
+		seq := int64(binary.LittleEndian.Uint64(sh[0:]))
+		start := int64(binary.LittleEndian.Uint64(sh[8:]))
+		end := int64(binary.LittleEndian.Uint64(sh[16:]))
+		rows := int64(binary.LittleEndian.Uint32(sh[24:]))
+		frameLen := int64(binary.LittleEndian.Uint64(sh[32:]))
+		switch {
+		case seq <= lastSeq:
+			// Also what a manifest entry or trailer parses as after the
+			// last segment of a cleanly closed file: the scan stops there
+			// rather than misreading bookkeeping bytes as a segment.
+			reason = fmt.Sprintf("segment seq %d not after previous at offset %d", seq, off)
+			break scan
+		case frameLen < int64(flow.FrameOverhead):
+			reason = fmt.Sprintf("implausible frame length %d at offset %d", frameLen, off)
+			break scan
+		case frameLen > size-off-segHeaderSize:
+			reason = fmt.Sprintf("segment at offset %d claims %d frame bytes, only %d remain", off, frameLen, size-off-segHeaderSize)
+			break scan
+		}
+		var magic [4]byte
+		if _, err := r.ReadAt(magic[:], off+segHeaderSize); err != nil || magic != flow.FrameMagic {
+			reason = fmt.Sprintf("segment at offset %d does not hold a frame blob", off)
+			break
+		}
+		f, err := flow.ReadFrame(io.NewSectionReader(r, off+segHeaderSize, frameLen))
+		if err != nil {
+			reason = fmt.Sprintf("segment at offset %d: %v", off, err)
+			break
+		}
+		if int64(f.Len()) != rows {
+			reason = fmt.Sprintf("segment at offset %d holds %d rows, header says %d", off, f.Len(), rows)
+			break
+		}
+		segs = append(segs, Segment{
+			Seq:    int(seq),
+			Start:  time.Unix(0, start).UTC(),
+			End:    time.Unix(0, end).UTC(),
+			Rows:   int(rows),
+			offset: off + segHeaderSize,
+			length: frameLen,
+		})
+		lastSeq = seq
+		off += segHeaderSize + frameLen
+	}
+
+	rep := &RecoveryReport{
+		Segments:      len(segs),
+		SalvagedBytes: off,
+		LostBytes:     size - off,
+		Reason:        reason,
+	}
+	// The trailer's anchor went down with the tail; the first salvaged
+	// window's start is on the same grid (anchor + k·hop), which is all a
+	// replayed monitor needs to lay windows identically.
+	if len(segs) > 0 && meta.Width > 0 {
+		rep.Anchor = segs[0].Start
+	}
+	sort.SliceStable(segs, func(i, j int) bool {
+		if !segs[i].Start.Equal(segs[j].Start) {
+			return segs[i].Start.Before(segs[j].Start)
+		}
+		return segs[i].Seq < segs[j].Seq
+	})
+	return &Reader{r: r, meta: meta, anchor: rep.Anchor, segs: segs}, rep, nil
+}
+
+// OpenReaderRecovering opens an archive leniently: a strict OpenReader
+// first, and on any manifest/trailer failure a Recover salvage scan. The
+// report says which path was taken and, for a salvage, what was lost.
+func OpenReaderRecovering(r io.ReaderAt, size int64) (*Reader, *RecoveryReport, error) {
+	if ar, err := OpenReader(r, size); err == nil {
+		return ar, &RecoveryReport{
+			Clean:         true,
+			Segments:      ar.NumSegments(),
+			SalvagedBytes: size,
+			Anchor:        ar.Anchor(),
+		}, nil
+	}
+	return Recover(r, size)
+}

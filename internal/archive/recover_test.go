@@ -1,0 +1,272 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// segmentBoundaries returns the file offset just past each segment of the
+// test archive (boundary[0] is the header end, boundary[k] the end of
+// segment k-1), plus the manifest offset.
+func segmentBoundaries(t *testing.T, data []byte) (bounds []int64, manifestOff int64) {
+	t.Helper()
+	ar, err := OpenReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds = append(bounds, headerSize)
+	for i := 0; i < ar.NumSegments(); i++ {
+		s := ar.Segment(i)
+		bounds = append(bounds, s.offset+s.length)
+	}
+	manifestOff = int64(binary.LittleEndian.Uint64(data[len(data)-trailerSize+8:]))
+	return bounds, manifestOff
+}
+
+func recoverBytes(t *testing.T, b []byte) (*Reader, *RecoveryReport) {
+	t.Helper()
+	ar, rep, err := Recover(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return ar, rep
+}
+
+// assertSalvagedPrefix checks the recovered reader holds exactly the first
+// k reference frames, bit-identical.
+func assertSalvagedPrefix(t *testing.T, ar *Reader, frames []*flow.Frame, k int) {
+	t.Helper()
+	if ar.NumSegments() != k {
+		t.Fatalf("salvaged %d segments, want %d", ar.NumSegments(), k)
+	}
+	for i := 0; i < k; i++ {
+		got, err := ar.Frame(i)
+		if err != nil {
+			t.Fatalf("salvaged segment %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(frames[i], got) {
+			t.Errorf("salvaged segment %d differs from original", i)
+		}
+	}
+}
+
+func TestRecoverTruncationAtSegmentBoundaries(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	bounds, _ := segmentBoundaries(t, data)
+	for k := 0; k <= len(frames); k++ {
+		b := data[:bounds[k]]
+		ar, rep := recoverBytes(t, b)
+		assertSalvagedPrefix(t, ar, frames, k)
+		if rep.Clean {
+			t.Errorf("k=%d: reported clean", k)
+		}
+		if rep.Segments != k || rep.SalvagedBytes != bounds[k] || rep.LostBytes != 0 {
+			t.Errorf("k=%d: report %+v", k, rep)
+		}
+		if k > 0 {
+			// The trailer anchor is gone; the first salvaged window start
+			// stands in for it (same grid).
+			if !rep.Anchor.Equal(epoch) || !ar.Anchor().Equal(epoch) {
+				t.Errorf("k=%d: anchor %v, want %v", k, rep.Anchor, epoch)
+			}
+		} else if !rep.Anchor.IsZero() {
+			t.Errorf("k=0: anchor %v from nothing", rep.Anchor)
+		}
+	}
+}
+
+func TestRecoverTruncationMidStructure(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	bounds, manifestOff := segmentBoundaries(t, data)
+	cases := []struct {
+		name   string
+		cut    int64
+		want   int // salvaged segments
+		reason string
+	}{
+		{"mid segment header", bounds[1] + 10, 1, "truncated segment header"},
+		{"mid frame blob", bounds[1] + segHeaderSize + 5, 1, "only"},
+		{"one byte short of boundary", bounds[2] - 1, 1, "only"},
+		{"early in manifest", manifestOff + 10, 4, "truncated segment header"},
+		{"mid manifest", manifestOff + manifestedSize + 10, 4, "seq"},
+		{"mid trailer", int64(len(data)) - trailerSize/2, 4, "seq"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := data[:tc.cut]
+			if _, err := OpenReader(bytes.NewReader(b), int64(len(b))); err == nil {
+				t.Fatal("strict open accepted a truncated archive")
+			}
+			ar, rep := recoverBytes(t, b)
+			assertSalvagedPrefix(t, ar, frames, tc.want)
+			if rep.LostBytes != tc.cut-rep.SalvagedBytes {
+				t.Errorf("lost %d bytes, want %d", rep.LostBytes, tc.cut-rep.SalvagedBytes)
+			}
+			if !strings.Contains(rep.Reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", rep.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestRecoverCorruptSegment(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	bounds, _ := segmentBoundaries(t, data)
+
+	t.Run("bit-flipped frame byte", func(t *testing.T) {
+		b := append([]byte(nil), data[:bounds[3]]...)
+		b[bounds[1]+segHeaderSize+20] ^= 0x04 // inside segment 1's blob
+		ar, rep := recoverBytes(t, b)
+		assertSalvagedPrefix(t, ar, frames, 1)
+		if !strings.Contains(rep.Reason, "offset") {
+			t.Errorf("reason %q names no offset", rep.Reason)
+		}
+	})
+	t.Run("frame magic clobbered", func(t *testing.T) {
+		b := append([]byte(nil), data[:bounds[2]]...)
+		b[bounds[1]+segHeaderSize] = 'X'
+		ar, rep := recoverBytes(t, b)
+		assertSalvagedPrefix(t, ar, frames, 1)
+		if !strings.Contains(rep.Reason, "frame blob") {
+			t.Errorf("reason = %q", rep.Reason)
+		}
+	})
+	t.Run("row count mismatch", func(t *testing.T) {
+		b := append([]byte(nil), data[:bounds[2]]...)
+		binary.LittleEndian.PutUint32(b[bounds[1]+24:], 7) // segment 1 claims 7 rows
+		ar, rep := recoverBytes(t, b)
+		assertSalvagedPrefix(t, ar, frames, 1)
+		if !strings.Contains(rep.Reason, "rows") {
+			t.Errorf("reason = %q", rep.Reason)
+		}
+	})
+	t.Run("absurd frame length", func(t *testing.T) {
+		b := append([]byte(nil), data[:bounds[2]]...)
+		binary.LittleEndian.PutUint64(b[bounds[1]+32:], 1<<60)
+		ar, rep := recoverBytes(t, b)
+		assertSalvagedPrefix(t, ar, frames, 1)
+		if !strings.Contains(rep.Reason, "remain") {
+			t.Errorf("reason = %q", rep.Reason)
+		}
+	})
+}
+
+func TestRecoverRejectsBadHeader(t *testing.T) {
+	data, _ := writeTestArchive(t)
+	if _, _, err := Recover(bytes.NewReader(data[:20]), 20); err == nil {
+		t.Error("truncated header recovered")
+	}
+	b := append([]byte(nil), data...)
+	b[0] = 'X'
+	if _, _, err := Recover(bytes.NewReader(b), int64(len(b))); err == nil {
+		t.Error("bad magic recovered")
+	}
+}
+
+func TestRecoverHeaderOnly(t *testing.T) {
+	data, _ := writeTestArchive(t)
+	ar, rep := recoverBytes(t, data[:headerSize])
+	if ar.NumSegments() != 0 || rep.Segments != 0 || rep.LostBytes != 0 {
+		t.Errorf("header-only salvage: %d segments, report %+v", ar.NumSegments(), rep)
+	}
+	if rep.Reason != "end of data" {
+		t.Errorf("reason = %q", rep.Reason)
+	}
+}
+
+func TestOpenReaderRecovering(t *testing.T) {
+	data, frames := writeTestArchive(t)
+	bounds, _ := segmentBoundaries(t, data)
+
+	t.Run("clean archive takes the strict path", func(t *testing.T) {
+		ar, rep, err := OpenReaderRecovering(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean || rep.Segments != len(frames) || rep.SalvagedBytes != int64(len(data)) || rep.LostBytes != 0 {
+			t.Errorf("report %+v", rep)
+		}
+		if !ar.Anchor().Equal(epoch) {
+			t.Errorf("anchor = %v", ar.Anchor())
+		}
+		assertSalvagedPrefix(t, ar, frames, len(frames))
+	})
+	t.Run("manifest offset past EOF falls back to salvage", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(b[len(b)-trailerSize+8:], uint64(len(b)+4096))
+		if _, err := OpenReader(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Fatal("strict open accepted manifest offset past EOF")
+		}
+		ar, rep, err := OpenReaderRecovering(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean {
+			t.Error("reported clean")
+		}
+		assertSalvagedPrefix(t, ar, frames, len(frames))
+	})
+	t.Run("torn tail falls back to salvage", func(t *testing.T) {
+		b := data[:bounds[2]+segHeaderSize+9]
+		ar, rep, err := OpenReaderRecovering(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean || rep.Segments != 2 {
+			t.Errorf("report %+v", rep)
+		}
+		assertSalvagedPrefix(t, ar, frames, 2)
+	})
+}
+
+// FuzzRecover holds recovery to the strict-decoder bar: arbitrary bytes
+// either fail with an error or salvage a reader whose every frame decodes,
+// and the byte accounting always balances.
+func FuzzRecover(f *testing.F) {
+	data := func() []byte {
+		var buf bytes.Buffer
+		aw, err := NewWriter(&buf, Meta{Width: 10 * time.Second, Hop: 10 * time.Second, Lateness: 2 * time.Second})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for seq := 0; seq < 3; seq++ {
+			start := epoch.Add(time.Duration(seq) * 10 * time.Second)
+			fr := flow.NewFrame(windowRecords(int64(seq+1), 8, time.Duration(seq)*10*time.Second))
+			if err := aw.Append(seq, start, start.Add(10*time.Second), fr); err != nil {
+				f.Fatal(err)
+			}
+		}
+		aw.SetAnchor(epoch)
+		if err := aw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:headerSize])
+	f.Add([]byte("LPA1"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ar, rep, err := Recover(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		if rep.SalvagedBytes+rep.LostBytes != int64(len(b)) {
+			t.Fatalf("bytes do not balance: %d + %d != %d", rep.SalvagedBytes, rep.LostBytes, len(b))
+		}
+		if rep.Segments != ar.NumSegments() {
+			t.Fatalf("report says %d segments, reader holds %d", rep.Segments, ar.NumSegments())
+		}
+		for i := 0; i < ar.NumSegments(); i++ {
+			if _, err := ar.Frame(i); err != nil {
+				t.Fatalf("salvaged segment %d does not decode: %v", i, err)
+			}
+		}
+	})
+}

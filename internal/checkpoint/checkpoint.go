@@ -1,0 +1,473 @@
+// Package checkpoint serializes a streaming monitor session's continuity
+// state — the window grid position plus the cross-window trackers (job
+// registry, incident tracker, suspect tracker, coverage baseline) — so a
+// killed-and-restarted monitor resumes emitting the next window with the
+// same JobIDs, incident first-seen times and fused suspect scores the
+// uninterrupted session would have produced.
+//
+// # File layout (version 1)
+//
+// All integers are little-endian; times are UnixNano with math.MinInt64
+// marking the zero time; floats are IEEE-754 bits.
+//
+//	magic "LPK1" | version u32 (1)
+//	geometry: width i64 | hop i64 | lateness i64
+//	engine:   anchor i64 | maxEvent i64 | nextK i64 | seq i64 |
+//	          late u64 | skipped u64
+//	registry: next i64 | njobs u32, then per job:
+//	          id i64 | firstSeen i64 | lastSeq i64 | nend u32 | addr u32 ...
+//	incidents: seq i64 | firstAlertSeq i64 | n u32, then per incident:
+//	          job i64 | kind u8 | rank u32 | switch i64 | firstSeen i64 |
+//	          lastSeen i64 | windows i64 | flags u8 (bit0 StillFiring,
+//	          bit1 Chronic) | openedSeq i64 | detail (u32 len + bytes)
+//	suspects: present u8, then when present: n u32, then per track:
+//	          component | firstSeen i64 | windows i64 | fused f64 |
+//	          missed i64 | last suspect (component | score f64 |
+//	          coverage f64 | contrast f64 | implicated i64 | healthy i64 |
+//	          firstSeen i64 | windows i64 | fused f64)
+//	          where component = kind u8 | switch i64 | a i64 | b i64 |
+//	          host u32
+//	coverage: present u8, then when present: n u32 | rows i64 ...
+//	crc32 (IEEE) over all preceding bytes
+//
+// # Compatibility policy
+//
+// The decoder is strict: unknown version, bad checksum, truncation,
+// implausible counts and trailing bytes are all rejected with precise
+// errors — the strict-decoder bar every wire surface in this codebase
+// meets. A layout change bumps the version; old versions are not migrated
+// (a checkpoint is a crash-recovery artifact of one deployed binary, not
+// an interchange format — on version skew the monitor starts a fresh
+// session and only continuity, not correctness, is lost).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/core/diagnose"
+	"github.com/llmprism/llmprism/internal/core/jobrec"
+	"github.com/llmprism/llmprism/internal/core/localize"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stream"
+)
+
+var magic = [4]byte{'L', 'P', 'K', '1'}
+
+// Version is the current checkpoint layout version.
+const Version = 1
+
+// zeroTime marks time.Time{} on the wire (no real timestamp collides:
+// UnixNano of the zero time is not representable anyway).
+const zeroTime = math.MinInt64
+
+// Checkpoint is one session's continuity state as of a window boundary.
+type Checkpoint struct {
+	// Width, Hop and Lateness pin the window geometry; a resumed session
+	// must use them (a different grid would misalign every window).
+	Width, Hop, Lateness time.Duration
+	// Engine is the window-grid position (see stream.State).
+	Engine stream.State
+	// Registry is the job registry's tracked jobs and id counter.
+	Registry jobrec.Snapshot
+	// Incidents is the incident tracker's open incidents and baseline
+	// bookkeeping.
+	Incidents diagnose.TrackerSnapshot
+	// Suspects is the suspect tracker's state; nil when the session ran
+	// without localization.
+	Suspects *localize.TrackerSnapshot
+	// Coverage is the coverage guard's rolling baseline; nil when the
+	// session ran without a coverage guard.
+	Coverage *CoverageState
+}
+
+// CoverageState is the coverage guard's rolling baseline: the row counts
+// of the most recent healthy windows.
+type CoverageState struct {
+	Recent []int64
+}
+
+// ResumeFrom returns the start of the first window the resumed session
+// will emit. Records before it belong to already-emitted windows; the
+// feeder replays everything at or after it.
+func (c *Checkpoint) ResumeFrom() time.Time {
+	return time.Unix(0, c.Engine.Anchor+c.Engine.NextK*int64(c.Hop)).UTC()
+}
+
+func putI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func putTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return putI64(b, zeroTime)
+	}
+	return putI64(b, t.UnixNano())
+}
+
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func putComponent(b []byte, c localize.Component) []byte {
+	b = append(b, byte(c.Kind))
+	b = putI64(b, int64(c.Switch))
+	b = putI64(b, int64(c.A))
+	b = putI64(b, int64(c.B))
+	return binary.LittleEndian.AppendUint32(b, uint32(c.Host))
+}
+
+// Write serializes the checkpoint to w.
+func Write(w io.Writer, c *Checkpoint) error {
+	b := make([]byte, 0, 512)
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = putI64(b, int64(c.Width))
+	b = putI64(b, int64(c.Hop))
+	b = putI64(b, int64(c.Lateness))
+
+	e := c.Engine
+	b = putI64(b, e.Anchor)
+	b = putI64(b, e.MaxEvent)
+	b = putI64(b, e.NextK)
+	b = putI64(b, int64(e.Seq))
+	b = binary.LittleEndian.AppendUint64(b, e.Late)
+	b = binary.LittleEndian.AppendUint64(b, e.Skipped)
+
+	b = putI64(b, int64(c.Registry.Next))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Registry.Jobs)))
+	for _, j := range c.Registry.Jobs {
+		b = putI64(b, int64(j.ID))
+		b = putTime(b, j.FirstSeen)
+		b = putI64(b, int64(j.LastSeq))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(j.Endpoints)))
+		for _, a := range j.Endpoints {
+			b = binary.LittleEndian.AppendUint32(b, uint32(a))
+		}
+	}
+
+	b = putI64(b, int64(c.Incidents.Seq))
+	b = putI64(b, int64(c.Incidents.FirstAlertSeq))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Incidents.Open)))
+	for _, o := range c.Incidents.Open {
+		inc := o.Incident
+		b = putI64(b, int64(inc.Key.Job))
+		b = append(b, byte(inc.Key.Kind))
+		b = binary.LittleEndian.AppendUint32(b, uint32(inc.Key.Rank))
+		b = putI64(b, int64(inc.Key.Switch))
+		b = putTime(b, inc.FirstSeen)
+		b = putTime(b, inc.LastSeen)
+		b = putI64(b, int64(inc.Windows))
+		var flags byte
+		if inc.StillFiring {
+			flags |= 1
+		}
+		if inc.Chronic {
+			flags |= 2
+		}
+		b = append(b, flags)
+		b = putI64(b, int64(o.OpenedSeq))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(inc.Detail)))
+		b = append(b, inc.Detail...)
+	}
+
+	if c.Suspects == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Suspects.Tracks)))
+		for _, tr := range c.Suspects.Tracks {
+			b = putComponent(b, tr.Component)
+			b = putTime(b, tr.FirstSeen)
+			b = putI64(b, int64(tr.Windows))
+			b = putF64(b, tr.Fused)
+			b = putI64(b, int64(tr.Missed))
+			s := tr.Last
+			b = putComponent(b, s.Component)
+			b = putF64(b, s.Score)
+			b = putF64(b, s.Coverage)
+			b = putF64(b, s.Contrast)
+			b = putI64(b, int64(s.Implicated))
+			b = putI64(b, int64(s.Healthy))
+			b = putTime(b, s.FirstSeen)
+			b = putI64(b, int64(s.Windows))
+			b = putF64(b, s.Fused)
+		}
+	}
+
+	if c.Coverage == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Coverage.Recent)))
+		for _, v := range c.Coverage.Recent {
+			b = putI64(b, v)
+		}
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	_, err := w.Write(b)
+	return err
+}
+
+// cursor is a strict sequential decoder: every read is bounds-checked and
+// the caller verifies full consumption at the end.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.b)-c.off < n {
+		c.fail("truncated at offset %d (need %d bytes, %d left)", c.off, n, len(c.b)-c.off)
+		return nil
+	}
+	p := c.b[c.off : c.off+n]
+	c.off += n
+	return p
+}
+
+func (c *cursor) u8() byte {
+	if p := c.take(1); p != nil {
+		return p[0]
+	}
+	return 0
+}
+
+func (c *cursor) u32() uint32 {
+	if p := c.take(4); p != nil {
+		return binary.LittleEndian.Uint32(p)
+	}
+	return 0
+}
+
+func (c *cursor) u64() uint64 {
+	if p := c.take(8); p != nil {
+		return binary.LittleEndian.Uint64(p)
+	}
+	return 0
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) time() time.Time {
+	v := c.i64()
+	if v == zeroTime {
+		return time.Time{}
+	}
+	return time.Unix(0, v).UTC()
+}
+
+// count reads an element count and rejects one that could not fit in the
+// remaining bytes at unit bytes per element, so a forged count fails here
+// instead of committing decode memory.
+func (c *cursor) count(unit int, what string) int {
+	n := int(c.u32())
+	if c.err == nil && n*unit > len(c.b)-c.off {
+		c.fail("%s count %d exceeds remaining %d bytes", what, n, len(c.b)-c.off)
+		return 0
+	}
+	return n
+}
+
+func (c *cursor) component() localize.Component {
+	return localize.Component{
+		Kind:   localize.ComponentKind(c.u8()),
+		Switch: flow.SwitchID(c.i64()),
+		A:      flow.SwitchID(c.i64()),
+		B:      flow.SwitchID(c.i64()),
+		Host:   flow.Addr(c.u32()),
+	}
+}
+
+// Read parses and validates a checkpoint. The reader must yield exactly
+// one checkpoint; trailing bytes are rejected.
+func Read(r io.Reader) (*Checkpoint, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	if len(b) < 8+4 {
+		return nil, fmt.Errorf("checkpoint: %d bytes is too small", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", v, Version)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch: file %08x, computed %08x", want, got)
+	}
+
+	cur := &cursor{b: body, off: 8}
+	c := &Checkpoint{}
+	c.Width = time.Duration(cur.i64())
+	c.Hop = time.Duration(cur.i64())
+	c.Lateness = time.Duration(cur.i64())
+	if cur.err == nil && (c.Width <= 0 || c.Hop <= 0 || c.Lateness < 0 || c.Hop > c.Width) {
+		cur.fail("invalid window geometry width=%v hop=%v lateness=%v", c.Width, c.Hop, c.Lateness)
+	}
+
+	c.Engine = stream.State{
+		Anchor:   cur.i64(),
+		MaxEvent: cur.i64(),
+		NextK:    cur.i64(),
+		Seq:      int(cur.i64()),
+		Late:     cur.u64(),
+		Skipped:  cur.u64(),
+	}
+	if cur.err == nil && c.Engine.Seq < 0 {
+		cur.fail("negative emission index %d", c.Engine.Seq)
+	}
+
+	c.Registry.Next = jobrec.JobID(cur.i64())
+	njobs := cur.count(8+8+8+4, "job")
+	for i := 0; i < njobs && cur.err == nil; i++ {
+		j := jobrec.JobSnapshot{
+			ID:        jobrec.JobID(cur.i64()),
+			FirstSeen: cur.time(),
+			LastSeq:   int(cur.i64()),
+		}
+		nend := cur.count(4, "endpoint")
+		for k := 0; k < nend && cur.err == nil; k++ {
+			j.Endpoints = append(j.Endpoints, flow.Addr(cur.u32()))
+		}
+		c.Registry.Jobs = append(c.Registry.Jobs, j)
+	}
+
+	c.Incidents.Seq = int(cur.i64())
+	c.Incidents.FirstAlertSeq = int(cur.i64())
+	nincs := cur.count(8+1+4+8+8+8+8+1+8+4, "incident")
+	for i := 0; i < nincs && cur.err == nil; i++ {
+		var o diagnose.OpenIncident
+		o.Incident.Key = diagnose.IncidentKey{
+			Job:    int(cur.i64()),
+			Kind:   diagnose.AlertKind(cur.u8()),
+			Rank:   flow.Addr(cur.u32()),
+			Switch: flow.SwitchID(cur.i64()),
+		}
+		o.Incident.FirstSeen = cur.time()
+		o.Incident.LastSeen = cur.time()
+		o.Incident.Windows = int(cur.i64())
+		flags := cur.u8()
+		o.Incident.StillFiring = flags&1 != 0
+		o.Incident.Chronic = flags&2 != 0
+		if cur.err == nil && flags&^byte(3) != 0 {
+			cur.fail("unknown incident flags %#x", flags)
+		}
+		o.OpenedSeq = int(cur.i64())
+		ndetail := cur.count(1, "detail byte")
+		if p := cur.take(ndetail); p != nil {
+			o.Incident.Detail = string(p)
+		}
+		c.Incidents.Open = append(c.Incidents.Open, o)
+	}
+
+	const componentSize = 1 + 8 + 8 + 8 + 4
+	switch cur.u8() {
+	case 0:
+	case 1:
+		c.Suspects = &localize.TrackerSnapshot{}
+		n := cur.count(componentSize*2+8*13, "suspect track")
+		for i := 0; i < n && cur.err == nil; i++ {
+			tr := localize.TrackSnapshot{
+				Component: cur.component(),
+				FirstSeen: cur.time(),
+				Windows:   int(cur.i64()),
+				Fused:     cur.f64(),
+				Missed:    int(cur.i64()),
+			}
+			tr.Last = localize.Suspect{
+				Component:  cur.component(),
+				Score:      cur.f64(),
+				Coverage:   cur.f64(),
+				Contrast:   cur.f64(),
+				Implicated: int(cur.i64()),
+				Healthy:    int(cur.i64()),
+				FirstSeen:  cur.time(),
+				Windows:    int(cur.i64()),
+				Fused:      cur.f64(),
+			}
+			c.Suspects.Tracks = append(c.Suspects.Tracks, tr)
+		}
+	default:
+		cur.fail("invalid suspects presence byte")
+	}
+
+	switch cur.u8() {
+	case 0:
+	case 1:
+		c.Coverage = &CoverageState{}
+		n := cur.count(8, "coverage window")
+		for i := 0; i < n && cur.err == nil; i++ {
+			c.Coverage.Recent = append(c.Coverage.Recent, cur.i64())
+		}
+	default:
+		cur.fail("invalid coverage presence byte")
+	}
+
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if cur.off != len(body) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(body)-cur.off)
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint to path atomically: a temp file in the same
+// directory, fsynced, then renamed over the target — a crash mid-write
+// leaves either the previous checkpoint or none, never a torn one.
+func Save(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the checkpoint at path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

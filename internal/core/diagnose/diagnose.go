@@ -111,6 +111,20 @@ type Config struct {
 	// two-group rail has no peer baseline to judge against. Nil (the
 	// default) compares all of a job's groups in a single population.
 	GroupRail func(flow.Addr) int
+	// GroupMedian aggregates a DP group's per-step duration as the median
+	// of its members' instead of the mean. Record loss corrupts individual
+	// ranks' step segmentation — a lost boundary record merges two steps,
+	// doubling one member's apparent duration — and the mean inherits the
+	// artifact; the median discards it, while a genuinely slow group
+	// (every member delayed by the same fault) moves median and mean
+	// alike.
+	GroupMedian bool
+	// MinPersist is the minimum number of anomalous steps a rank
+	// (cross-step) or group (cross-group) must show within one window
+	// before its alerts surface. Collection noise corrupts isolated
+	// steps; real faults hold for the whole window. Default 1 (every
+	// anomaly alerts).
+	MinPersist int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Bucket <= 0 {
 		c.Bucket = time.Minute
+	}
+	if c.MinPersist <= 0 {
+		c.MinPersist = 1
 	}
 	return c
 }
@@ -169,6 +186,7 @@ func CrossStep(timelines map[flow.Addr]*timeline.Timeline, cfg Config) []Alert {
 			continue
 		}
 		var w stats.Welford
+		var rankAlerts []Alert
 		for _, s := range tl.Steps[1:] {
 			dur := s.Duration().Seconds()
 			if w.N() >= cfg.MinSamples {
@@ -178,7 +196,7 @@ func CrossStep(timelines map[flow.Addr]*timeline.Timeline, cfg Config) []Alert {
 					sd = floor
 				}
 				if dur > mean+cfg.K*sd {
-					alerts = append(alerts, Alert{
+					rankAlerts = append(rankAlerts, Alert{
 						Kind:     AlertCrossStep,
 						Rank:     rank,
 						Step:     s.Index,
@@ -192,6 +210,11 @@ func CrossStep(timelines map[flow.Addr]*timeline.Timeline, cfg Config) []Alert {
 				}
 			}
 			w.Add(dur)
+		}
+		// A rank below the persistence bar shows isolated spikes — the
+		// step-segmentation artifacts record loss leaves — not slowness.
+		if len(rankAlerts) >= cfg.MinPersist {
+			alerts = append(alerts, rankAlerts...)
 		}
 	}
 	return alerts
@@ -230,19 +253,17 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 		byRail := make(map[int]*railPop)
 		rails := make([]int, 0, 2)
 		for g, members := range groups {
-			var sum float64
-			var n int
+			var durs []float64
 			var at time.Time
 			for _, rank := range members {
 				tl, ok := timelines[rank]
 				if !ok || step >= len(tl.Steps) {
 					continue
 				}
-				sum += tl.Steps[step].DPDuration().Seconds()
+				durs = append(durs, tl.Steps[step].DPDuration().Seconds())
 				at = tl.Steps[step].DPStart
-				n++
 			}
-			if n == 0 {
+			if len(durs) == 0 {
 				continue
 			}
 			var anchor flow.Addr
@@ -256,7 +277,7 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 				byRail[rail] = pop
 				rails = append(rails, rail)
 			}
-			pop.durs = append(pop.durs, sum/float64(n))
+			pop.durs = append(pop.durs, groupDuration(durs, cfg.GroupMedian))
 			pop.times = append(pop.times, at)
 			pop.idx = append(pop.idx, g)
 		}
@@ -288,7 +309,46 @@ func CrossGroup(timelines map[flow.Addr]*timeline.Timeline, groups [][]flow.Addr
 			}
 		}
 	}
+	if cfg.MinPersist > 1 {
+		// Drop groups anomalous in fewer than MinPersist steps of the
+		// window — isolated spikes, not sustained slowness. The surviving
+		// alerts keep their original (step, rail, group) order.
+		perGroup := make(map[int]int)
+		for _, a := range alerts {
+			perGroup[a.Group]++
+		}
+		kept := alerts[:0]
+		for _, a := range alerts {
+			if perGroup[a.Group] >= cfg.MinPersist {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			return nil
+		}
+		alerts = kept
+	}
 	return alerts
+}
+
+// groupDuration folds one group's member DP durations into the group's
+// per-step duration: the mean, or with median set the member median (robust
+// to loss-corrupted individual ranks). Ties split like sort order; the
+// input is scratch and may be reordered.
+func groupDuration(durs []float64, median bool) float64 {
+	if !median {
+		var sum float64
+		for _, d := range durs {
+			sum += d
+		}
+		return sum / float64(len(durs))
+	}
+	sort.Float64s(durs)
+	n := len(durs)
+	if n%2 == 1 {
+		return durs[n/2]
+	}
+	return (durs[n/2-1] + durs[n/2]) / 2
 }
 
 // SwitchPoint is one time bucket of one switch's DP traffic.

@@ -501,3 +501,116 @@ func BenchmarkSwitchSeries(b *testing.B) {
 		SwitchSeries(records, types, Config{})
 	}
 }
+
+// TestCrossStepMinPersist pins the persistence bar: one anomalous step is
+// the signature of a lost boundary record (two steps merged into one
+// doubled duration), so MinPersist 2 keeps it off the alert surface,
+// while a rank that is slow twice in the window still fires — and every
+// one of its anomalous steps is reported once it clears the bar.
+func TestCrossStepMinPersist(t *testing.T) {
+	spike := uniformDurs(12, time.Second)
+	spike[7] = 3 * time.Second
+	tls := map[flow.Addr]*timeline.Timeline{1: makeTimeline(1, spike, nil)}
+	if alerts := CrossStep(tls, Config{MinPersist: 2}); len(alerts) != 0 {
+		t.Errorf("isolated spike survived MinPersist 2: %+v", alerts)
+	}
+
+	double := uniformDurs(24, time.Second)
+	double[10] = 3 * time.Second
+	double[15] = 3 * time.Second
+	tls = map[flow.Addr]*timeline.Timeline{1: makeTimeline(1, double, nil)}
+	alerts := CrossStep(tls, Config{MinPersist: 2})
+	if len(alerts) != 2 {
+		t.Fatalf("persistent slowdown: alerts = %d, want 2", len(alerts))
+	}
+	for _, a := range alerts {
+		if a.Step != 10 && a.Step != 15 {
+			t.Errorf("unexpected step %d in %+v", a.Step, a)
+		}
+	}
+}
+
+// TestCrossGroupMedianIgnoresSingleMemberArtifact pins the median
+// aggregation: with four ranks per group, one member's doubled DP
+// duration (a merged step from record loss) drags the group mean far
+// enough to fire, but leaves the median untouched — while a slowdown
+// across the whole group still moves the median and fires.
+func TestCrossGroupMedianIgnoresSingleMemberArtifact(t *testing.T) {
+	build := func(slowRanks map[flow.Addr]bool) (map[flow.Addr]*timeline.Timeline, [][]flow.Addr) {
+		tls := make(map[flow.Addr]*timeline.Timeline)
+		var groups [][]flow.Addr
+		for g := 0; g < 8; g++ {
+			var members []flow.Addr
+			for m := 0; m < 4; m++ {
+				rank := flow.Addr(g*4 + m + 1)
+				dp := uniformDurs(10, 50*time.Millisecond)
+				if slowRanks[rank] {
+					dp = uniformDurs(10, 400*time.Millisecond)
+				}
+				tls[rank] = makeTimeline(rank, uniformDurs(10, time.Second), dp)
+				members = append(members, rank)
+			}
+			groups = append(groups, members)
+		}
+		return tls, groups
+	}
+
+	// One artifact member in group 5 (ranks 21-24): mean fires, median is
+	// quiet.
+	tls, groups := build(map[flow.Addr]bool{21: true})
+	if alerts := CrossGroup(tls, groups, Config{}); len(alerts) == 0 {
+		t.Error("mean aggregation should fire on a single-member artifact (the hazard GroupMedian exists for)")
+	}
+	if alerts := CrossGroup(tls, groups, Config{GroupMedian: true}); len(alerts) != 0 {
+		t.Errorf("median aggregation fired on a single-member artifact: %+v", alerts)
+	}
+
+	// The whole of group 5 slow: median fires too.
+	tls, groups = build(map[flow.Addr]bool{21: true, 22: true, 23: true, 24: true})
+	alerts := CrossGroup(tls, groups, Config{GroupMedian: true})
+	if len(alerts) == 0 {
+		t.Fatal("median aggregation missed a genuinely slow group")
+	}
+	for _, a := range alerts {
+		if a.Group != 5 {
+			t.Errorf("unexpected alert %+v, want group 5", a)
+		}
+	}
+}
+
+// TestCrossGroupMinPersist pins the group-level persistence bar: a group
+// anomalous in a single step stays quiet at MinPersist 2, a group slow in
+// two steps keeps both its alerts.
+func TestCrossGroupMinPersist(t *testing.T) {
+	build := func(slowSteps ...int) (map[flow.Addr]*timeline.Timeline, [][]flow.Addr) {
+		tls := make(map[flow.Addr]*timeline.Timeline)
+		var groups [][]flow.Addr
+		for g := 0; g < 8; g++ {
+			rank := flow.Addr(g + 1)
+			dp := uniformDurs(10, 50*time.Millisecond)
+			if g == 5 {
+				for _, s := range slowSteps {
+					dp[s] = 400 * time.Millisecond
+				}
+			}
+			tls[rank] = makeTimeline(rank, uniformDurs(10, time.Second), dp)
+			groups = append(groups, []flow.Addr{rank})
+		}
+		return tls, groups
+	}
+
+	tls, groups := build(4)
+	if alerts := CrossGroup(tls, groups, Config{MinPersist: 2}); len(alerts) != 0 {
+		t.Errorf("single-step group anomaly survived MinPersist 2: %+v", alerts)
+	}
+	tls, groups = build(4, 7)
+	alerts := CrossGroup(tls, groups, Config{MinPersist: 2})
+	if len(alerts) != 2 {
+		t.Fatalf("two-step group anomaly: alerts = %d, want 2", len(alerts))
+	}
+	for _, a := range alerts {
+		if a.Group != 5 {
+			t.Errorf("unexpected alert %+v, want group 5", a)
+		}
+	}
+}

@@ -42,6 +42,20 @@ type Config struct {
 	AggregateGap time.Duration
 	// Seed drives the noise randomness.
 	Seed int64
+	// Blackouts model per-switch mirror outages (a mirror session torn
+	// down, a collector losing one switch's export stream): every record
+	// whose path crosses the switch during the interval is dropped,
+	// deterministically — no RNG draw, so an empty list leaves the noise
+	// stream byte-identical.
+	Blackouts []Blackout
+}
+
+// Blackout is one switch mirror outage: records whose path crosses Switch
+// and whose flow starts in [From, Until) — sim-time offsets from the
+// collector epoch — are lost.
+type Blackout struct {
+	Switch      flow.SwitchID
+	From, Until time.Duration
 }
 
 // pendingKey identifies an aggregation stream: endpoint pair + path. The
@@ -74,6 +88,7 @@ type Collector struct {
 
 	observed uint64
 	lost     uint64
+	blacked  uint64
 	drained  int
 }
 
@@ -125,9 +140,16 @@ func pathKey(switches []flow.SwitchID) uint64 {
 	return h
 }
 
-// export runs the per-record noise pipeline (loss, splitting, duplication)
-// on one assembled flow record.
+// export runs the per-record noise pipeline (blackout, loss, splitting,
+// duplication) on one assembled flow record. The blackout check precedes
+// the loss draw and consumes no randomness, so enabling blackouts does
+// not shift the RNG stream of the other knobs.
 func (c *Collector) export(src, dst flow.Addr, path flow.PathID, start, end time.Duration, bytes int64) {
+	if len(c.cfg.Blackouts) > 0 && c.inBlackout(path, start) {
+		c.lost++
+		c.blacked++
+		return
+	}
 	if c.cfg.LossProb > 0 && c.rng.Float64() < c.cfg.LossProb {
 		c.lost++
 		return
@@ -281,9 +303,33 @@ func (c *Collector) WriteArchive(w io.Writer) error {
 	return nil
 }
 
+// inBlackout reports whether a record starting at start whose path is the
+// interned id crosses any switch currently in a mirror blackout.
+func (c *Collector) inBlackout(path flow.PathID, start time.Duration) bool {
+	var switches []flow.SwitchID
+	for _, b := range c.cfg.Blackouts {
+		if start < b.From || start >= b.Until {
+			continue
+		}
+		if switches == nil {
+			switches = c.fb.Path(path)
+		}
+		for _, s := range switches {
+			if s == b.Switch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Observed returns how many fabric flows reached the collector
 // (pre-noise, excluding intra-node traffic).
 func (c *Collector) Observed() uint64 { return c.observed }
 
-// Lost returns how many records the loss model dropped.
+// Lost returns how many records the loss model dropped (blackout losses
+// included).
 func (c *Collector) Lost() uint64 { return c.lost }
+
+// BlackedOut returns how many records a switch mirror blackout dropped.
+func (c *Collector) BlackedOut() uint64 { return c.blacked }

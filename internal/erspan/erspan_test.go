@@ -238,3 +238,49 @@ func TestDrainRecordsHoldsOpenAggregations(t *testing.T) {
 		t.Errorf("aggregate duration = %v, want 12ms", got[0].Duration)
 	}
 }
+
+func TestBlackoutDropsCrossingRecords(t *testing.T) {
+	cfg := Config{Blackouts: []Blackout{{Switch: 9, From: time.Second, Until: 3 * time.Second}}}
+	c := New(epoch, cfg)
+	// Path {1, 9, 2} crosses the blacked-out switch 9.
+	c.Observe(comp(1, 2, 1000, 500*time.Millisecond, 600*time.Millisecond))    // before: kept
+	c.Observe(comp(1, 2, 1000, time.Second, time.Second+time.Millisecond))     // inside: dropped
+	c.Observe(comp(1, 2, 1000, 2*time.Second, 2*time.Second+time.Millisecond)) // inside: dropped
+	c.Observe(comp(1, 2, 1000, 3*time.Second, 3*time.Second+time.Millisecond)) // at Until: kept
+	// A path avoiding switch 9 sails through the interval.
+	c.Observe(netsim.Completion{
+		Src: 5, Dst: 6, Bytes: 700,
+		Start: 1500 * time.Millisecond, End: 1501 * time.Millisecond,
+		Switches: []flow.SwitchID{3, 7, 4},
+	})
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if c.Lost() != 2 || c.BlackedOut() != 2 {
+		t.Errorf("Lost/BlackedOut = %d/%d, want 2/2", c.Lost(), c.BlackedOut())
+	}
+}
+
+// TestBlackoutDoesNotShiftNoiseRNG pins the determinism contract: the
+// blackout check consumes no randomness, so a noisy collector with
+// blackouts produces, for records outside the blackout, exactly the
+// records the same collector produces without blackouts.
+func TestBlackoutDoesNotShiftNoiseRNG(t *testing.T) {
+	noisy := Config{LossProb: 0.3, DuplicateProb: 0.3, TimeJitter: time.Millisecond, Seed: 42}
+	blk := noisy
+	blk.Blackouts = []Blackout{{Switch: 9, From: 10 * time.Minute, Until: 11 * time.Minute}}
+
+	feed := func(c *Collector) []flow.Record {
+		for i := 0; i < 200; i++ {
+			at := time.Duration(i) * 10 * time.Millisecond
+			c.Observe(comp(flow.Addr(i%8), flow.Addr(i%8+8), 1000, at, at+time.Millisecond))
+		}
+		return c.Records()
+	}
+	a := feed(New(epoch, noisy))
+	b := feed(New(epoch, blk)) // no record starts inside the blackout
+	if !reflect.DeepEqual(a, b) {
+		t.Error("an inert blackout changed the noise stream")
+	}
+}

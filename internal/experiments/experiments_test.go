@@ -254,7 +254,7 @@ func TestLocalizationMatrixShortGrid(t *testing.T) {
 }
 
 func TestRunnerRegistryComplete(t *testing.T) {
-	want := []string{"fig3", "table1", "fig4", "fig5", "diagnosis", "localize", "a1", "a2", "a3"}
+	want := []string{"fig3", "table1", "fig4", "fig5", "diagnosis", "localize", "loss", "a1", "a2", "a3"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("registry names = %v, want %v", got, want)
 	}

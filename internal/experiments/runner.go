@@ -42,6 +42,8 @@ func All() []Spec {
 			func(ctx context.Context, o Options) (Result, error) { return Diagnosis(ctx, o) }},
 		{"localize", "L1: root-cause localization vs injected faults",
 			func(ctx context.Context, o Options) (Result, error) { return Localization(ctx, o) }},
+		{"loss", "R1: diagnosis under collector loss and mirror blackouts",
+			func(ctx context.Context, o Options) (Result, error) { return CollectorLoss(ctx, o) }},
 		{"a1", "A1: netsim mode ablation",
 			func(ctx context.Context, o Options) (Result, error) { return AblationNetsimMode(ctx, o) }},
 		{"a2", "A2: step-splitter ablation",

@@ -40,8 +40,17 @@ import (
 // frameMagic identifies version 1 of the binary frame layout.
 var frameMagic = [4]byte{'L', 'P', 'F', '1'}
 
+// FrameMagic is the frame magic as seen by external scanners: the archive
+// salvage scan peeks for it to tell a segment blob from torn bookkeeping
+// bytes before paying for a full decode.
+var FrameMagic = frameMagic
+
 // frameHeaderSize is magic + rows + paths + pathSwitches.
 const frameHeaderSize = 4 + 4 + 4 + 4
+
+// FrameOverhead is the minimum encoded size of any frame: header plus the
+// trailing checksum. No valid frame blob is shorter.
+const FrameOverhead = frameHeaderSize + 4
 
 // readChunk bounds how much decode memory a declared column length can
 // commit before the bytes actually arrive, so a forged header claiming

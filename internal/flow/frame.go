@@ -118,6 +118,10 @@ func (b *FrameBuilder) AppendRecord(r Record) {
 	b.Append(r.ID, r.Start, r.Duration, r.Src, r.Dst, r.Bytes, b.InternPath(r.Switches))
 }
 
+// Path returns the switch path interned under id (nil for NoPath). The
+// slice aliases the builder's path table and must be treated as read-only.
+func (b *FrameBuilder) Path(id PathID) []SwitchID { return b.table.Path(id) }
+
 // RecordAt materializes row i in append order (rows are not sorted until
 // Build). The Switches slice aliases the builder's interned path table and
 // must be treated as read-only.

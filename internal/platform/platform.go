@@ -52,8 +52,9 @@ type Result struct {
 	Records []flow.Record
 	Truth   truth.Platform
 	Stats   trainsim.Stats
-	// Observed and Lost count collector activity.
-	Observed, Lost uint64
+	// Observed and Lost count collector activity; Blacked is the subset of
+	// Lost dropped by switch mirror blackouts (Collector.Blackouts).
+	Observed, Lost, Blacked uint64
 }
 
 // Run executes the scenario.
@@ -86,6 +87,7 @@ func Run(s Scenario) (*Result, error) {
 		Stats:    cluster.Stats(),
 		Observed: coll.Observed(),
 		Lost:     coll.Lost(),
+		Blacked:  coll.BlackedOut(),
 	}, nil
 }
 

@@ -73,6 +73,33 @@ type Config struct {
 	// window) can only be reproduced by restoring the original origin.
 	// Zero means anchor at the first push, the default.
 	Anchor time.Time
+	// Resume restores a prior session's grid position (see State) so the
+	// engine continues emitting at the next window instead of starting
+	// over. When set, Anchor is ignored — the state carries its own. The
+	// feeder must re-push, in the original order, every record whose start
+	// falls at or after the next window's start; records before it are
+	// dropped as late, which is harmless on resume.
+	Resume *State
+}
+
+// State is the engine's grid-continuity snapshot: everything a restarted
+// engine needs to emit the next window on the same grid with the same
+// emission index. Capture it with StateAfter at a window boundary and hand
+// it to Config.Resume.
+type State struct {
+	// Anchor is the event-time grid origin, UnixNano.
+	Anchor int64
+	// MaxEvent is the watermark basis: the largest record start observed
+	// (UnixNano) as of the snapshot.
+	MaxEvent int64
+	// NextK is the smallest grid index not yet emitted.
+	NextK int64
+	// Seq is the next emission index.
+	Seq int
+	// Late and Skipped carry the session counters across the restart.
+	// They are informational: a resumed feeder re-pushing pre-boundary
+	// records inflates Late relative to the uninterrupted session.
+	Late, Skipped uint64
 }
 
 // DefaultMaxEmptyRun is the default bound on consecutive empty windows
@@ -166,12 +193,42 @@ func New[R any](cfg Config, analyze func(ctx context.Context, w Window, f *flow.
 		open:    make(map[int64]*openWindow),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
-	if !cfg.Anchor.IsZero() {
+	switch {
+	case cfg.Resume != nil:
+		s := cfg.Resume
+		e.anchored = true
+		e.anchor = s.Anchor
+		e.maxEvent = s.MaxEvent
+		e.nextK = s.NextK
+		e.haveK = true
+		e.started = true
+		e.seq = s.Seq
+		e.late = s.Late
+		e.skipped = s.Skipped
+	case !cfg.Anchor.IsZero():
 		e.anchored = true
 		e.anchor = cfg.Anchor.UnixNano()
 		e.maxEvent = e.anchor
 	}
 	return e
+}
+
+// StateAfter captures the grid state as of the release of window w: a new
+// engine resumed from it emits w's successor next, on the same grid, with
+// the same emission index the uninterrupted session would have used. The
+// watermark basis is reconstructed from the window's close condition (its
+// end plus the allowed lateness) rather than the live maxEvent, which may
+// already reflect records past the snapshot boundary.
+func (e *Engine[R]) StateAfter(w Window) State {
+	k := FloorDiv(w.Start.UnixNano()-e.anchor, int64(e.cfg.Hop))
+	return State{
+		Anchor:   e.anchor,
+		MaxEvent: w.End.UnixNano() + int64(e.cfg.Lateness),
+		NextK:    k + 1,
+		Seq:      w.Seq + 1,
+		Late:     e.late,
+		Skipped:  e.skipped,
+	}
 }
 
 // Anchor returns the event-time grid origin (zero until the first push

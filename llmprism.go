@@ -129,6 +129,20 @@ func WithMaxConcurrentDPFlows(n int) Option {
 	return func(c *Config) { c.Diagnosis.MaxConcurrentDPFlows = n }
 }
 
+// WithLossTolerantDiagnosis hardens the per-step detectors against
+// collector record loss: DP-group durations aggregate member medians
+// instead of means (a lost boundary record doubles one member's apparent
+// step, and the mean inherits the artifact), and a rank or group must stay
+// anomalous for at least persist steps within a window before its alerts
+// surface. Real faults hold for the window; loss corrupts isolated steps.
+// persist <= 1 keeps only the median hardening.
+func WithLossTolerantDiagnosis(persist int) Option {
+	return func(c *Config) {
+		c.Diagnosis.GroupMedian = true
+		c.Diagnosis.MinPersist = persist
+	}
+}
+
 // WithSwitchTiers stratifies the switch-bandwidth peer comparison by the
 // given tier classifier (e.g. leaf vs spine): switches are judged only
 // against peers of their own tier, because the tiers carry structurally
@@ -249,6 +263,15 @@ type Report struct {
 	// brief noise washes out, concurrent faults separate. Nil outside the
 	// monitor or without WithLocalization.
 	FusedSuspects []localize.Suspect
+	// Coverage is the monitor's per-window collection-coverage signal,
+	// stamped when the monitor runs WithCoverageGuard: the window's
+	// observed flow volume against the rolling baseline of recent healthy
+	// windows. On a degraded window (coverage collapsed — a collector
+	// outage, a mirror blackout) the monitor withholds the window's alerts
+	// and freezes the continuity trackers instead of letting thinned
+	// evidence fire false diagnoses; Degraded says so. The zero value
+	// means no coverage guard ran.
+	Coverage Coverage
 }
 
 // Alerts returns every alert in the report (job-scoped then switch-level),

@@ -9,6 +9,7 @@ import (
 
 	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/bocd"
+	"github.com/llmprism/llmprism/internal/checkpoint"
 	"github.com/llmprism/llmprism/internal/core/diagnose"
 	"github.com/llmprism/llmprism/internal/core/jobrec"
 	"github.com/llmprism/llmprism/internal/core/localize"
@@ -94,20 +95,30 @@ type Monitor struct {
 	// localization config the analyzer would have used.
 	relocalize bool
 	locCfg     localize.Config
+	// covRecent is the coverage guard's rolling baseline: row counts of
+	// the most recent healthy windows (non-nil state only when
+	// WithCoverageGuard is on).
+	covRecent []int64
+	// resume holds the checkpoint this monitor was rebuilt from (nil for
+	// a fresh session); Stream uses it to restore the grid position.
+	resume *checkpoint.Checkpoint
 
 	streaming bool
 }
 
 type monitorConfig struct {
-	window   time.Duration
-	hop      time.Duration
-	lateness time.Duration
-	depth    int
-	registry jobrec.RegistryConfig
-	archive  io.Writer
-	anchor   time.Time
-	suppress bool
-	incident diagnose.IncidentConfig
+	window     time.Duration
+	hop        time.Duration
+	lateness   time.Duration
+	depth      int
+	registry   jobrec.RegistryConfig
+	archive    io.Writer
+	anchor     time.Time
+	suppress   bool
+	incident   diagnose.IncidentConfig
+	checkpoint string
+	coverage   CoverageConfig
+	coverageOn bool
 }
 
 // MonitorOption customizes a Monitor.
@@ -182,6 +193,76 @@ func WithAnchor(t time.Time) MonitorOption {
 	return func(c *monitorConfig) { c.anchor = t }
 }
 
+// WithCheckpoint makes the monitor's Stream session persist its continuity
+// state — grid position, job registry, incident tracker, suspect tracker,
+// coverage baseline — to path after every released window, atomically
+// (temp file + rename; a crash leaves the previous checkpoint, never a
+// torn one). A monitor rebuilt from the file with ResumeMonitor continues
+// the session at the next window with the same JobIDs, incident first-seen
+// times and fused suspect scores the uninterrupted session would have
+// produced. Only the Stream path checkpoints; Feed ignores the option.
+func WithCheckpoint(path string) MonitorOption {
+	return func(c *monitorConfig) { c.checkpoint = path }
+}
+
+// CoverageConfig tunes the monitor's collection-coverage guard.
+type CoverageConfig struct {
+	// BaselineWindows is the length of the rolling baseline: the row
+	// counts of this many recent healthy windows define the expected
+	// per-window flow volume. Default 8.
+	BaselineWindows int
+	// MinBaseline is how many healthy windows must accumulate before the
+	// guard starts classifying (earlier windows pass unjudged). Default 3.
+	MinBaseline int
+	// DegradedBelow marks a window degraded when its row count falls
+	// below this fraction of the baseline mean. Default 0.5.
+	DegradedBelow float64
+}
+
+func (c CoverageConfig) withDefaults() CoverageConfig {
+	if c.BaselineWindows <= 0 {
+		c.BaselineWindows = 8
+	}
+	if c.MinBaseline <= 0 {
+		c.MinBaseline = 3
+	}
+	if c.DegradedBelow <= 0 || c.DegradedBelow >= 1 {
+		c.DegradedBelow = 0.5
+	}
+	return c
+}
+
+// Coverage is one window's collection-coverage signal (see Report).
+type Coverage struct {
+	// Rows is the window's observed flow record count.
+	Rows int
+	// Baseline is the rolling mean row count of recent healthy windows;
+	// 0 until MinBaseline healthy windows have accumulated.
+	Baseline float64
+	// Ratio is Rows/Baseline (0 while no baseline is established).
+	Ratio float64
+	// Degraded marks a window whose coverage fell below DegradedBelow of
+	// baseline — including a fully empty window once a baseline exists.
+	Degraded bool
+}
+
+// WithCoverageGuard makes the monitor compare every window's observed flow
+// volume against a rolling baseline of recent healthy windows and stamp
+// the result on Report.Coverage. A window whose volume collapses below the
+// configured fraction of baseline — a collector outage, a switch mirror
+// blackout — is marked degraded: its alerts are withheld and the
+// continuity trackers (job registry, incidents, suspects) are frozen for
+// the window, because diagnoses drawn from thinned evidence are false
+// alarms waiting to happen, not detections. Healthy windows refresh the
+// baseline; degraded ones do not poison it. The zero cfg applies the
+// documented defaults.
+func WithCoverageGuard(cfg CoverageConfig) MonitorOption {
+	return func(c *monitorConfig) {
+		c.coverageOn = true
+		c.coverage = cfg.withDefaults()
+	}
+}
+
 // NewMonitor returns a Monitor that analyzes consecutive windows of the
 // given width (default 1 minute, the paper's operating point). The
 // analyzer's change-point detectors are pooled across the monitor's
@@ -242,6 +323,62 @@ func NewMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, window time.Dura
 	return m, nil
 }
 
+// ResumeMonitor rebuilds a monitor from a session checkpoint written by
+// WithCheckpoint (or MonitorStream.Checkpoint): the window geometry comes
+// from the checkpoint, the continuity trackers are restored, and the next
+// Stream session continues the interrupted one — window Seq, JobIDs,
+// incident first-seen times and fused suspect scores all pick up exactly
+// where the checkpoint left them. The analyzer and options must match the
+// original session's (a checkpoint restores state, not configuration);
+// mismatched localization or coverage-guard settings are rejected. The
+// feeder must then re-push, in the original order, every record whose
+// start falls at or after ResumeFrom — the resumed reports are
+// bit-identical to the uninterrupted session's from that window on.
+func ResumeMonitor(analyzer *Analyzer, mapper jobrec.ServerMapper, r io.Reader, opts ...MonitorOption) (*Monitor, error) {
+	ck, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("llmprism: resume: %w", err)
+	}
+	// The checkpoint's geometry is authoritative: append its hop/lateness
+	// after the caller's options so a divergent WithHop/WithLateness cannot
+	// misalign the restored grid.
+	opts = append(append([]MonitorOption(nil), opts...), WithHop(ck.Hop), WithLateness(ck.Lateness))
+	m, err := NewMonitor(analyzer, mapper, ck.Width, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if (ck.Suspects != nil) != (m.suspects != nil) {
+		return nil, fmt.Errorf("llmprism: resume: checkpoint localization state (%t) does not match analyzer (%t)",
+			ck.Suspects != nil, m.suspects != nil)
+	}
+	if (ck.Coverage != nil) != m.cfg.coverageOn {
+		return nil, fmt.Errorf("llmprism: resume: checkpoint coverage guard (%t) does not match options (%t)",
+			ck.Coverage != nil, m.cfg.coverageOn)
+	}
+	m.seq = ck.Engine.Seq
+	m.registry.Restore(ck.Registry)
+	m.incidents.Restore(ck.Incidents)
+	if ck.Suspects != nil {
+		m.suspects.Restore(*ck.Suspects)
+	}
+	if ck.Coverage != nil {
+		m.covRecent = append([]int64(nil), ck.Coverage.Recent...)
+	}
+	m.resume = ck
+	return m, nil
+}
+
+// ResumeFrom returns the start of the first window this resumed monitor's
+// Stream session will emit — the boundary the feeder replays records from
+// (every record at or after it, in the original order). It is the zero
+// time on a monitor not built by ResumeMonitor.
+func (m *Monitor) ResumeFrom() time.Time {
+	if m.resume == nil {
+		return time.Time{}
+	}
+	return m.resume.ResumeFrom()
+}
+
 // Window returns the monitor's window width.
 func (m *Monitor) Window() time.Duration { return m.cfg.window }
 
@@ -276,6 +413,9 @@ func (m *Monitor) FeedContext(ctx context.Context, records []FlowRecord) ([]*Rep
 	}
 	if m.streaming {
 		return nil, fmt.Errorf("llmprism: monitor has an open Stream session; do not mix it with Feed")
+	}
+	if m.resume != nil {
+		return nil, fmt.Errorf("llmprism: a resumed monitor supports only Stream")
 	}
 	if len(records) == 0 {
 		return nil, nil
@@ -403,7 +543,7 @@ func (m *Monitor) analyzeWindow(ctx context.Context, recs []flow.Record, start, 
 	}
 	report.Window = WindowInfo{Seq: m.seq, Start: start, End: end}
 	m.seq++
-	m.annotate(report)
+	m.annotate(report, len(recs))
 	return report, nil
 }
 
@@ -411,9 +551,32 @@ func (m *Monitor) analyzeWindow(ctx context.Context, recs []flow.Record, start, 
 // from the registry, the incident view of the window's alerts (chronic
 // baseline anomalies suppressed from the alert surface and the
 // localization evidence when WithChronicSuppression is on), and the fused
-// cross-window suspect ranking. Reports must be annotated in window order;
-// both ingestion paths guarantee that.
-func (m *Monitor) annotate(r *Report) {
+// cross-window suspect ranking. rows is the window's record count, the
+// coverage guard's input. Reports must be annotated in window order; both
+// ingestion paths guarantee that.
+func (m *Monitor) annotate(r *Report, rows int) {
+	if m.cfg.coverageOn {
+		r.Coverage = m.observeCoverage(rows)
+		if r.Coverage.Degraded {
+			// Thinned evidence must not fire alerts or corrupt continuity
+			// state: withhold the window's alert surface and freeze every
+			// tracker — no job matching (expiry clocks would tick against
+			// artificially shrunken clusters), no incident observation
+			// (open incidents would wrongly resolve, and chronic state is
+			// unrecoverable once an incident reopens post-baseline), no
+			// suspect scoring. The fused ranking still reflects the
+			// evidence accumulated before the outage.
+			for i := range r.Jobs {
+				r.Jobs[i].Alerts = nil
+			}
+			r.SwitchAlerts = nil
+			r.Suspects = nil
+			if m.suspects != nil {
+				r.FusedSuspects = m.suspects.Fused()
+			}
+			return
+		}
+	}
 	clusters := make([]jobrec.Cluster, len(r.Jobs))
 	for i := range r.Jobs {
 		clusters[i] = r.Jobs[i].Cluster
@@ -458,6 +621,31 @@ func (m *Monitor) annotate(r *Report) {
 		m.suspects.Observe(r.Window.Start, r.Suspects)
 		r.FusedSuspects = m.suspects.Fused()
 	}
+}
+
+// observeCoverage classifies one window's record count against the
+// rolling baseline and, for healthy non-empty windows, folds the count
+// into the baseline.
+func (m *Monitor) observeCoverage(rows int) Coverage {
+	cov := Coverage{Rows: rows}
+	if len(m.covRecent) >= m.cfg.coverage.MinBaseline {
+		var sum int64
+		for _, v := range m.covRecent {
+			sum += v
+		}
+		cov.Baseline = float64(sum) / float64(len(m.covRecent))
+		if cov.Baseline > 0 {
+			cov.Ratio = float64(rows) / cov.Baseline
+			cov.Degraded = cov.Ratio < m.cfg.coverage.DegradedBelow
+		}
+	}
+	if !cov.Degraded && rows > 0 {
+		m.covRecent = append(m.covRecent, int64(rows))
+		if n := len(m.covRecent) - m.cfg.coverage.BaselineWindows; n > 0 {
+			m.covRecent = append(m.covRecent[:0], m.covRecent[n:]...)
+		}
+	}
+	return cov
 }
 
 // dropChronic filters a job's (or the fabric's, job 0) alerts in place,
@@ -516,7 +704,7 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 	if m.streaming {
 		return nil, fmt.Errorf("llmprism: monitor already has a Stream session")
 	}
-	if len(m.buf) > 0 || m.seq > 0 {
+	if len(m.buf) > 0 || (m.seq > 0 && m.resume == nil) {
 		return nil, fmt.Errorf("llmprism: monitor has Feed state (%d buffered records, %d windows emitted); use a fresh Monitor for streaming", len(m.buf), m.seq)
 	}
 	var sink *archive.Writer
@@ -532,19 +720,26 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 		}
 	}
 	m.streaming = true
-	eng := stream.New(stream.Config{
+	scfg := stream.Config{
 		Width:       m.cfg.window,
 		Hop:         m.cfg.hop,
 		Lateness:    m.cfg.lateness,
 		MaxInFlight: m.cfg.depth,
 		Anchor:      m.cfg.anchor,
-	}, func(ctx context.Context, _ stream.Window, f *flow.Frame) (*Report, error) {
+	}
+	s := &MonitorStream{m: m, ctx: ctx, sink: sink}
+	if m.resume != nil {
+		es := m.resume.Engine
+		scfg.Resume = &es
+		s.lastState = &es
+	}
+	s.eng = stream.New(scfg, func(ctx context.Context, _ stream.Window, f *flow.Frame) (*Report, error) {
 		if f.Len() == 0 {
 			return &Report{}, nil
 		}
 		return m.analyzer.AnalyzeFrameContext(ctx, f, m.mapper)
 	})
-	return &MonitorStream{m: m, ctx: ctx, eng: eng, sink: sink}, nil
+	return s, nil
 }
 
 // MonitorStream is one streaming ingestion session. Drive it from a single
@@ -552,12 +747,16 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 // reports each Push releases, and Close at end of stream. After an error
 // the session is dead; every later call returns the same error.
 type MonitorStream struct {
-	m      *Monitor
-	ctx    context.Context
-	eng    *stream.Engine[*Report]
-	sink   *archive.Writer
-	err    error
-	closed bool
+	m    *Monitor
+	ctx  context.Context
+	eng  *stream.Engine[*Report]
+	sink *archive.Writer
+	// lastState is the grid state as of the most recently released window
+	// — what Checkpoint serializes (nil until the first release on a
+	// fresh session; a resumed session starts from its checkpoint).
+	lastState *stream.State
+	err       error
+	closed    bool
 }
 
 // Push ingests one batch of records — in any order; records up to the
@@ -625,16 +824,56 @@ func (s *MonitorStream) collect(results []stream.Result[*Report]) ([]*Report, er
 		r := res.Value
 		r.Window = WindowInfo{Seq: res.Window.Seq, Start: res.Window.Start, End: res.Window.End}
 		s.m.seq = res.Window.Seq + 1
-		s.m.annotate(r)
+		s.m.annotate(r, res.Rows)
 		if s.sink != nil {
 			if err := s.sink.Append(res.Window.Seq, res.Window.Start, res.Window.End, res.Frame); err != nil {
 				s.err = fmt.Errorf("llmprism: archive window %d: %w", res.Window.Seq, err)
 				return reports, s.err
 			}
 		}
+		es := s.eng.StateAfter(res.Window)
+		s.lastState = &es
+		if s.m.cfg.checkpoint != "" {
+			if err := checkpoint.Save(s.m.cfg.checkpoint, s.m.buildCheckpoint(es)); err != nil {
+				s.err = fmt.Errorf("llmprism: checkpoint after window %d: %w", res.Window.Seq, err)
+				return reports, s.err
+			}
+		}
 		reports = append(reports, r)
 	}
 	return reports, nil
+}
+
+// Checkpoint serializes the session's continuity state as of the most
+// recently released window to w — the explicit counterpart of the
+// WithCheckpoint file, for callers that manage persistence themselves. It
+// errors while no window has been released yet (there is no boundary to
+// checkpoint).
+func (s *MonitorStream) Checkpoint(w io.Writer) error {
+	if s.lastState == nil {
+		return fmt.Errorf("llmprism: no window released yet; nothing to checkpoint")
+	}
+	return checkpoint.Write(w, s.m.buildCheckpoint(*s.lastState))
+}
+
+// buildCheckpoint assembles the continuity snapshot for the grid state es.
+func (m *Monitor) buildCheckpoint(es stream.State) *checkpoint.Checkpoint {
+	ck := &checkpoint.Checkpoint{
+		Width:     m.cfg.window,
+		Hop:       m.cfg.hop,
+		Lateness:  m.cfg.lateness,
+		Engine:    es,
+		Registry:  m.registry.Snapshot(),
+		Incidents: m.incidents.Snapshot(),
+	}
+	if m.suspects != nil {
+		s := m.suspects.Snapshot()
+		ck.Suspects = &s
+	}
+	if m.cfg.coverageOn {
+		ck.Coverage = &checkpoint.CoverageState{Recent: append([]int64(nil), m.covRecent...)}
+	}
+	return ck
 }
 
 // Late returns how many record-to-window assignments were dropped because

@@ -9,6 +9,7 @@ import (
 	"github.com/llmprism/llmprism/internal/core/localize"
 	"github.com/llmprism/llmprism/internal/core/parallel"
 	"github.com/llmprism/llmprism/internal/core/timeline"
+	"github.com/llmprism/llmprism/internal/erspan"
 	"github.com/llmprism/llmprism/internal/faults"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/model"
@@ -115,6 +116,16 @@ type (
 	TraceArchiveMeta = archive.Meta
 	// TraceArchiveSegment locates one archived window.
 	TraceArchiveSegment = archive.Segment
+	// TraceRecoveryReport describes what a salvage scan of a torn archive
+	// kept and discarded (RecoverTraceArchive).
+	TraceRecoveryReport = archive.RecoveryReport
+
+	// CollectorConfig parameterizes the simulated collection pipeline's
+	// noise (Scenario.Collector): loss, duplication, jitter, aggregation
+	// and per-switch mirror blackouts.
+	CollectorConfig = erspan.Config
+	// CollectorBlackout is one switch mirror outage in a CollectorConfig.
+	CollectorBlackout = erspan.Blackout
 )
 
 // Re-exported enum values.
@@ -186,4 +197,15 @@ func WriteFlowFrame(w io.Writer, f *FlowFrame) (int64, error) { return f.WriteTo
 // (WithAnchor + TraceArchive.Anchor).
 func OpenTraceArchive(r io.ReaderAt, size int64) (*TraceArchive, error) {
 	return archive.OpenReader(r, size)
+}
+
+// RecoverTraceArchive opens a trace archive leniently: a clean archive
+// opens strictly, while an unclosed or torn one has its intact prefix
+// segments salvaged — every fully-written, checksum-valid segment up to
+// the first corruption — with the report saying what was kept and what
+// was lost. A salvaged prefix replays bit-identically to the same windows
+// of the uninterrupted session (the replay grid anchor is reconstructed
+// from the first salvaged window).
+func RecoverTraceArchive(r io.ReaderAt, size int64) (*TraceArchive, *TraceRecoveryReport, error) {
+	return archive.OpenReaderRecovering(r, size)
 }
