@@ -20,6 +20,7 @@ import (
 	"github.com/llmprism/llmprism/internal/experiments"
 	"github.com/llmprism/llmprism/internal/faults"
 	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/stream"
 )
 
 // BenchmarkFig3JobRecognition regenerates E1 (Fig. 3): job recognition
@@ -211,6 +212,17 @@ func BenchmarkAnalyzePipeline(b *testing.B) {
 // the multi-job trace; workers=1 is the sequential baseline the multi-core
 // speedup is read against (the three jobs' identify → timeline → diagnose
 // chains dominate the runtime and fan out per job).
+//
+// Two ceilings cap the workers=N/workers=1 ratio, so read it against the
+// host before calling it a regression:
+//   - GOMAXPROCS: on a single-core host (the committed BENCH_analyze.json
+//     baselines run on one) every count degenerates to serial execution
+//     plus synchronization overhead, and the ratio hovers around 1.0x.
+//   - Job granularity: the pool fans out per job, and this trace has three
+//     jobs with a dominant 16-node job on the critical path, so even with
+//     free cores the ratio is bounded near sum(job costs)/max(job cost)
+//     ≈ 2x, not N. The frame build ahead of the fan-out is the parallel
+//     BuildParallel and scales with cores independently of job count.
 func BenchmarkAnalyze(b *testing.B) {
 	records, topo := benchTrace(b)
 	counts := []int{1, 2, 4}
@@ -244,6 +256,69 @@ func BenchmarkFrameBuild(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(records)), "records/op")
 	b.ReportMetric(float64(frame.PathTable().NumPaths()), "paths")
+}
+
+// BenchmarkFrameBuildParallel isolates the close-time Build over a
+// pre-filled builder at fixed worker counts: workers=1 is the serial
+// reference; higher counts run the sharded row sort, parallel column
+// permutation, and parallel index build — all byte-identical to serial.
+// The speedup is only visible when GOMAXPROCS > 1; on a single-core host
+// the workers=4 run measures the sharding overhead instead (it must stay
+// within a few percent of serial — the work partition is the same
+// comparisons split into per-shard sorts plus one linear merge).
+func BenchmarkFrameBuildParallel(b *testing.B) {
+	records, _ := benchTrace(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				builder := flow.NewFrameBuilder()
+				builder.Grow(len(records))
+				for _, r := range records {
+					builder.AppendRecord(r)
+				}
+				b.StartTimer()
+				builder.BuildParallel(workers)
+			}
+			b.ReportMetric(float64(len(records)), "records/op")
+		})
+	}
+}
+
+// BenchmarkPushFrame compares the two replay-ingest paths over one decoded
+// window: per-record Push (materialize []Record, re-intern every row) vs
+// bulk PushFrame (wholesale column appends plus a one-shot path-table
+// remap). The window is wider than the trace so nothing closes — this is
+// pure wire-to-builder ingest, the daemon's hot path.
+func BenchmarkPushFrame(b *testing.B) {
+	records, _ := benchTrace(b)
+	frame := flow.NewFrame(records)
+	byStart := frame.RecordsByStart()
+	cfg := stream.Config{Width: 24 * time.Hour}
+	noop := func(_ context.Context, _ stream.Window, _ *flow.Frame) (struct{}, error) {
+		return struct{}{}, nil
+	}
+	b.Run("records", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := stream.New(cfg, noop)
+			if err := e.Push(context.Background(), byStart); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(records)), "records/op")
+	})
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := stream.New(cfg, noop)
+			if err := e.PushFrame(context.Background(), frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(records)), "records/op")
+	})
 }
 
 // BenchmarkAnalyzeFrame measures the pipeline over a pre-built frame at the

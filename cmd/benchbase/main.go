@@ -10,11 +10,13 @@
 // benchmarks in the run are reported and ignored so new benchmarks can
 // land before their baseline does.
 //
-// Regenerate the committed baselines with:
+// Regenerate the committed baselines with (3x matches CI; multiple
+// iterations smooth one-shot warmup allocations such as lazily built
+// intern indexes):
 //
-//	go test -run - -bench 'Analyze|Frame' -benchtime=1x -benchmem . | benchbase -update BENCH_analyze.json
-//	go test -run - -bench Monitor -benchtime=1x -benchmem . | benchbase -update BENCH_monitor.json
-//	go test -run - -bench Localize -benchtime=1x -benchmem ./internal/core/localize | benchbase -update BENCH_localize.json
+//	go test -run - -bench 'Analyze|Frame' -benchtime=3x -benchmem . | benchbase -update BENCH_analyze.json
+//	go test -run - -bench Monitor -benchtime=3x -benchmem . | benchbase -update BENCH_monitor.json
+//	go test -run - -bench Localize -benchtime=3x -benchmem ./internal/core/localize | benchbase -update BENCH_localize.json
 package main
 
 import (
@@ -154,7 +156,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	updatePath := fs.String("update", "", "write the parsed results as a new baseline to this file")
 	checkPath := fs.String("check", "", "diff the parsed results against the baseline in this file")
 	tol := fs.Float64("tol", 0.25, "allowed fractional allocs/op growth before -check fails")
-	note := fs.String("note", "go test -bench -benchtime=1x -benchmem", "provenance note stored with -update")
+	note := fs.String("note", "go test -bench -benchtime=3x -benchmem", "provenance note stored with -update")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

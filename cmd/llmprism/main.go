@@ -409,7 +409,9 @@ func runReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string
 		return err
 	}
 	if err := ar.Replay(func(seg archive.Segment, fr *flow.Frame) error {
-		reports, err := s.Push(fr.RecordsByStart())
+		// Bulk columnar ingest: the decoded frame goes straight into the
+		// window builders, no Record materialization.
+		reports, err := s.PushFrame(fr)
 		printReports(stdout, reports)
 		return err
 	}); err != nil {

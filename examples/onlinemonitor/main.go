@@ -201,7 +201,7 @@ func main() {
 	}
 	var replayed []*llmprism.Report
 	if err := ar.Replay(func(_ llmprism.TraceArchiveSegment, f *llmprism.FlowFrame) error {
-		reports, err := replay.Push(f.RecordsByStart())
+		reports, err := replay.PushFrame(f)
 		replayed = append(replayed, reports...)
 		return err
 	}); err != nil {

@@ -48,16 +48,21 @@
 // been folded back in job order: flows are visited in (job, start, id)
 // order and each flow's components in path order, so every per-component
 // float accumulator receives its contributions in one fixed sequence, and
-// the final ranking sorts by (score, kind, identity). The suspect list is
-// therefore bit-identical for any analysis worker count, any
-// within-lateness arrival permutation, and any archive replay of the same
-// window.
+// the final ranking sorts by (score, kind, identity). Config.Shards
+// parallelizes the accumulation by component hash: each shard scans all
+// flows in that same order but owns a disjoint component set, so every
+// accumulator still sees the serial sequence. The suspect list is
+// therefore bit-identical for any analysis worker count, any shard count,
+// any within-lateness arrival permutation, and any archive replay of the
+// same window.
 package localize
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/llmprism/llmprism/internal/core/diagnose"
@@ -201,6 +206,15 @@ type Config struct {
 	// firing since window 0 is a structural property whose evidence would
 	// only drag suspicion toward healthy components.
 	Filter func(job int, a diagnose.Alert) bool
+	// Shards parallelizes the per-component evidence accumulation. Each of
+	// Shards workers scans every flow in the same fixed (job, start, id)
+	// order but folds only the components it owns (by component hash), so
+	// every per-component float accumulator still receives its
+	// contributions in exactly the serial sequence — the suspect list is
+	// bit-identical for every shard count. 0 picks GOMAXPROCS (capped at
+	// maxAutoShards); 1 is the serial reference path. Windows smaller than
+	// shardMinRows run serially regardless.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -281,10 +295,6 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 			}
 		}
 	}
-	type jobTargets struct {
-		ranks   map[flow.Addr]bool
-		members map[flow.Addr]bool // union of flagged DP groups' members
-	}
 	targets := make([]jobTargets, len(jobs))
 	any := len(flaggedSwitches) > 0
 	for ji, job := range jobs {
@@ -316,89 +326,44 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 		return nil
 	}
 
-	// One pass over every flow in (job, start, id) order: decide
-	// implication, then fold the flow into each of its components'
-	// counters in path order. Fixed iteration order fixes every float
-	// accumulator's summation order.
-	stats := make(map[Component]*compStat)
-	stat := func(c Component) *compStat {
-		s := stats[c]
-		if s == nil {
-			s = &compStat{}
-			stats[c] = s
+	// Accumulate the per-component spectrum counters — serial reference
+	// path for one shard, component-hash-sharded workers otherwise (see
+	// accumulate for the determinism argument). Shard 0 owns the global
+	// totals either way.
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > maxAutoShards {
+			shards = maxAutoShards
 		}
-		return s
 	}
-	var (
-		implRows int     // F: all implicated flows
-		implSum  float64 // Gbps sum of measurable implicated flows
-		implBW   int
-		comps    []Component // scratch, per flow
-	)
-	for ji := range jobs {
-		job := &jobs[ji]
-		t := targets[ji]
-		for _, r := range job.Records {
-			implicated := t.ranks[r.Src] || t.ranks[r.Dst]
-			if !implicated && len(t.members) > 0 && t.members[r.Src] && t.members[r.Dst] &&
-				job.Types[r.Pair()] == parallel.TypeDP {
-				implicated = true
-			}
-			if !implicated && len(flaggedSwitches) > 0 {
-				for _, sw := range r.Switches {
-					if flaggedSwitches[sw] {
-						implicated = true
-						break
-					}
-				}
-			}
-
-			comps = comps[:0]
-			for i, sw := range r.Switches {
-				comps = append(comps, SwitchComponent(sw))
-				if i > 0 {
-					comps = append(comps, LinkComponent(r.Switches[i-1], sw))
-				}
-			}
-
-			gbps := r.Gbps()
-			measurable := r.Duration > 0 && r.Bytes > 0
-			if implicated {
-				implRows++
-				if measurable {
-					implSum += gbps
-					implBW++
-				}
-			}
-			fold := func(s *compStat) {
-				if implicated {
-					s.implicated++
-					if measurable {
-						s.implSum += gbps
-						s.implBW++
-					}
-				} else {
-					s.healthy++
-				}
-			}
-			for _, c := range dedupComponents(comps) {
-				fold(stat(c))
-			}
-			src := stat(HostComponent(r.Src))
-			fold(src)
-			if implicated && measurable {
-				src.outSum += gbps
-				src.outBW++
-			}
-			if r.Dst != r.Src {
-				dst := stat(HostComponent(r.Dst))
-				fold(dst)
-				if implicated && measurable {
-					dst.inSum += gbps
-					dst.inBW++
-				}
-			}
+	total := 0
+	for i := range jobs {
+		total += len(jobs[i].Records)
+	}
+	if total < shardMinRows {
+		shards = 1
+	}
+	accs := make([]accumulator, shards)
+	if shards == 1 {
+		accs[0] = accumulate(jobs, targets, flaggedSwitches, 0, 1)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				accs[s] = accumulate(jobs, targets, flaggedSwitches, s, shards)
+			}(s)
 		}
+		wg.Wait()
+	}
+	implRows, implSum, implBW := accs[0].implRows, accs[0].implSum, accs[0].implBW
+	lookup := func(c Component) *compStat {
+		if shards == 1 {
+			return accs[0].stats[c]
+		}
+		return accs[componentShard(c, shards)].stats[c]
 	}
 	if implRows == 0 {
 		return nil
@@ -407,11 +372,14 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 	// Score the components touched by implicated flows, in (kind,
 	// identity) order — each component's score depends only on its own
 	// counters and the global totals, but the fixed fold order keeps the
-	// pipeline reproducible end to end.
-	ordered := make([]Component, 0, len(stats))
-	for c, s := range stats {
-		if s.implicated > 0 {
-			ordered = append(ordered, c)
+	// pipeline reproducible end to end. Shards are drained in fixed index
+	// order; the sort below canonicalizes regardless.
+	var ordered []Component
+	for s := range accs {
+		for c, st := range accs[s].stats {
+			if st.implicated > 0 {
+				ordered = append(ordered, c)
+			}
 		}
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].less(ordered[j]) })
@@ -433,7 +401,7 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 	scores := make(map[Component]float64, len(ordered))
 	sibling := make(map[Component][2]float64) // link → per-endpoint sibling contrast
 	for _, c := range ordered {
-		s := stats[c]
+		s := lookup(c)
 		coverage := float64(s.implicated) /
 			math.Sqrt(float64(implRows)*float64(s.implicated+s.healthy))
 		contrast := contrastOf(s.implSum, s.implBW, implSum-s.implSum, implBW-s.implBW)
@@ -444,7 +412,7 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 			var sib [2]float64
 			for i, sw := range [2]flow.SwitchID{c.A, c.B} {
 				sib[i] = 1
-				if p := stats[SwitchComponent(sw)]; p != nil {
+				if p := lookup(SwitchComponent(sw)); p != nil {
 					sib[i] = contrastOf(s.implSum, s.implBW, p.implSum-s.implSum, p.implBW-s.implBW)
 				}
 				if sib[i] > contrast {
@@ -520,6 +488,152 @@ func Localize(jobs []Job, switchAlerts []diagnose.Alert, cfg Config) []Suspect {
 		return nil
 	}
 	return suspects
+}
+
+// maxAutoShards caps Shards == 0 auto-selection: the accumulation is
+// memory-bound well before this, and every shard re-scans every flow.
+const maxAutoShards = 8
+
+// shardMinRows is the total record count below which accumulation always
+// runs serially — fan-out overhead exceeds the win on small windows, and
+// unit-test-sized inputs stay on the reference path.
+const shardMinRows = 4096
+
+// jobTargets is one job's implication targets, derived from its kept
+// alerts.
+type jobTargets struct {
+	ranks   map[flow.Addr]bool
+	members map[flow.Addr]bool // union of flagged DP groups' members
+}
+
+// accumulator is one shard's accumulation output. Shard 0 additionally
+// carries the global implicated-flow totals.
+type accumulator struct {
+	stats    map[Component]*compStat
+	implRows int     // F: all implicated flows
+	implSum  float64 // Gbps sum of measurable implicated flows
+	implBW   int
+}
+
+// componentShard assigns c to one of n accumulation shards by a
+// splitmix64-style hash of its identity. The hash decides only which shard
+// owns a component's accumulator, never any ordering.
+func componentShard(c Component, n int) int {
+	var x uint64
+	switch c.Kind {
+	case ComponentSwitch:
+		x = uint64(c.Switch)
+	case ComponentLink:
+		x = uint64(c.A)*0x9e3779b97f4a7c15 + uint64(c.B)
+	default:
+		x = uint64(c.Host)
+	}
+	x = x*8 + uint64(c.Kind)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// accumulate folds every flow, in (job, start, id) order, into the
+// components owned by shard (every component when nShards == 1).
+//
+// Sharding discipline: each shard scans all flows — the implication test is
+// cheap map lookups — but folds a component only if the component hash maps
+// it to this shard. A component is owned by exactly one shard, so its float
+// accumulator receives contributions in exactly the sequence the serial
+// pass produces; nothing is ever folded across shards, so there is no shard
+// fold whose order could vary. Shard 0 also accumulates the global totals,
+// in the same serial flow order. The inputs (targets, flagged, jobs) are
+// read-only across shards.
+func accumulate(jobs []Job, targets []jobTargets, flagged map[flow.SwitchID]bool, shard, nShards int) accumulator {
+	acc := accumulator{stats: make(map[Component]*compStat)}
+	owns := func(c Component) bool {
+		return nShards == 1 || componentShard(c, nShards) == shard
+	}
+	stat := func(c Component) *compStat {
+		s := acc.stats[c]
+		if s == nil {
+			s = &compStat{}
+			acc.stats[c] = s
+		}
+		return s
+	}
+	var comps []Component // scratch, per flow
+	for ji := range jobs {
+		job := &jobs[ji]
+		t := targets[ji]
+		for _, r := range job.Records {
+			implicated := t.ranks[r.Src] || t.ranks[r.Dst]
+			if !implicated && len(t.members) > 0 && t.members[r.Src] && t.members[r.Dst] &&
+				job.Types[r.Pair()] == parallel.TypeDP {
+				implicated = true
+			}
+			if !implicated && len(flagged) > 0 {
+				for _, sw := range r.Switches {
+					if flagged[sw] {
+						implicated = true
+						break
+					}
+				}
+			}
+
+			comps = comps[:0]
+			for i, sw := range r.Switches {
+				comps = append(comps, SwitchComponent(sw))
+				if i > 0 {
+					comps = append(comps, LinkComponent(r.Switches[i-1], sw))
+				}
+			}
+
+			gbps := r.Gbps()
+			measurable := r.Duration > 0 && r.Bytes > 0
+			if implicated && shard == 0 {
+				acc.implRows++
+				if measurable {
+					acc.implSum += gbps
+					acc.implBW++
+				}
+			}
+			fold := func(s *compStat) {
+				if implicated {
+					s.implicated++
+					if measurable {
+						s.implSum += gbps
+						s.implBW++
+					}
+				} else {
+					s.healthy++
+				}
+			}
+			for _, c := range dedupComponents(comps) {
+				if owns(c) {
+					fold(stat(c))
+				}
+			}
+			if c := HostComponent(r.Src); owns(c) {
+				src := stat(c)
+				fold(src)
+				if implicated && measurable {
+					src.outSum += gbps
+					src.outBW++
+				}
+			}
+			if r.Dst != r.Src {
+				if c := HostComponent(r.Dst); owns(c) {
+					dst := stat(c)
+					fold(dst)
+					if implicated && measurable {
+						dst.inSum += gbps
+						dst.inBW++
+					}
+				}
+			}
+		}
+	}
+	return acc
 }
 
 // dedupComponents removes duplicates in place, preserving first-seen

@@ -51,9 +51,11 @@ type FrameBuilder struct {
 	key   []byte
 }
 
-// NewFrameBuilder returns an empty builder.
+// NewFrameBuilder returns an empty builder. The intern index is built
+// lazily on the first InternPath, so a builder fed purely by bulk table
+// copies (InternTable's identity fast path) never pays for it.
 func NewFrameBuilder() *FrameBuilder {
-	return &FrameBuilder{index: make(map[string]PathID)}
+	return &FrameBuilder{}
 }
 
 // Len returns the number of rows appended so far.
@@ -87,6 +89,9 @@ func (b *FrameBuilder) InternPath(path []SwitchID) PathID {
 			byte(s>>56), byte(s>>48), byte(s>>40), byte(s>>32),
 			byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
 	}
+	if b.index == nil {
+		b.rebuildIndex()
+	}
 	// map[string] lookup on a []byte key does not allocate; the string is
 	// materialized only when the path is new.
 	if id, ok := b.index[string(b.key)]; ok {
@@ -100,6 +105,23 @@ func (b *FrameBuilder) InternPath(path []SwitchID) PathID {
 	b.table.offs = append(b.table.offs, int32(len(b.table.switches)))
 	b.index[string(b.key)] = id
 	return id
+}
+
+// rebuildIndex reconstructs the intern index from the table — needed after
+// InternTable's wholesale table copy, which leaves the index stale (nil).
+func (b *FrameBuilder) rebuildIndex() {
+	np := b.table.NumPaths()
+	b.index = make(map[string]PathID, np)
+	var key []byte
+	for p := 0; p < np; p++ {
+		key = key[:0]
+		for _, s := range b.table.switches[b.table.offs[p]:b.table.offs[p+1]] {
+			key = append(key,
+				byte(s>>56), byte(s>>48), byte(s>>40), byte(s>>32),
+				byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+		}
+		b.index[string(key)] = PathID(p)
+	}
 }
 
 // Append adds one row with an already-interned path.
@@ -140,91 +162,21 @@ func (b *FrameBuilder) RecordAt(i int) Record {
 // Build freezes the accumulated rows into a Frame. The builder remains
 // usable; paths interned so far keep their ids, and rows appended later
 // appear only in subsequently built frames.
-func (b *FrameBuilder) Build() *Frame {
-	n := len(b.ids)
-	f := &Frame{
-		ids:    make([]uint64, n),
-		starts: make([]int64, n),
-		durs:   make([]int64, n),
-		srcs:   make([]Addr, n),
-		dsts:   make([]Addr, n),
-		nbytes: make([]int64, n),
-		paths:  make([]PathID, n),
-		table: PathTable{
-			offs:     b.table.offs[:len(b.table.offs):len(b.table.offs)],
-			switches: b.table.switches[:len(b.table.switches):len(b.table.switches)],
-		},
-	}
-	// Canonical pair per row, then rows ordered by (pair, start, id).
-	pa := make([]Addr, n)
-	pb := make([]Addr, n)
-	for i := 0; i < n; i++ {
-		a, c := b.srcs[i], b.dsts[i]
-		if a > c {
-			a, c = c, a
-		}
-		pa[i], pb[i] = a, c
-	}
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(x, y int) bool {
-		i, j := order[x], order[y]
-		if pa[i] != pa[j] {
-			return pa[i] < pa[j]
-		}
-		if pb[i] != pb[j] {
-			return pb[i] < pb[j]
-		}
-		if b.starts[i] != b.starts[j] {
-			return b.starts[i] < b.starts[j]
-		}
-		return b.ids[i] < b.ids[j]
-	})
-	for newIdx, oldIdx := range order {
-		f.ids[newIdx] = b.ids[oldIdx]
-		f.starts[newIdx] = b.starts[oldIdx]
-		f.durs[newIdx] = b.durs[oldIdx]
-		f.srcs[newIdx] = b.srcs[oldIdx]
-		f.dsts[newIdx] = b.dsts[oldIdx]
-		f.nbytes[newIdx] = b.nbytes[oldIdx]
-		f.paths[newIdx] = b.paths[oldIdx]
-	}
-	f.buildIndexes()
-	return f
-}
+//
+// Built frames are canonical: rows are sorted by (pair, start, id) and the
+// path table is renumbered in first-use order over the sorted rows (paths
+// no row references are dropped), so the same row multiset produces
+// byte-identical WriteTo output regardless of append order, intern order,
+// or which ingest path (per-record or bulk) filled the builder. Build is
+// the single-threaded reference; BuildParallel(workers) produces the same
+// bytes on multiple cores.
+func (b *FrameBuilder) Build() *Frame { return b.BuildParallel(1) }
 
 // buildIndexes derives the pair index and the start-ordered permutation from
 // already-canonically-sorted columns. Build and ReadFrame share it, so a
 // decoded frame's indexes are bit-identical to the builder's for the same
 // columns.
-func (f *Frame) buildIndexes() {
-	n := len(f.ids)
-	// Pair index over the sorted rows.
-	f.rowPair = make([]int32, n)
-	for i := 0; i < n; i++ {
-		p := MakePair(f.srcs[i], f.dsts[i])
-		if len(f.pairs) == 0 || f.pairs[len(f.pairs)-1] != p {
-			f.pairs = append(f.pairs, p)
-			f.pairOff = append(f.pairOff, int32(i))
-		}
-		f.rowPair[i] = int32(len(f.pairs) - 1)
-	}
-	f.pairOff = append(f.pairOff, int32(n))
-	// Start-ordered permutation, the SortByStart-equivalent iteration order.
-	f.byStart = make([]int32, n)
-	for i := range f.byStart {
-		f.byStart[i] = int32(i)
-	}
-	sort.Slice(f.byStart, func(x, y int) bool {
-		i, j := f.byStart[x], f.byStart[y]
-		if f.starts[i] != f.starts[j] {
-			return f.starts[i] < f.starts[j]
-		}
-		return f.ids[i] < f.ids[j]
-	})
-}
+func (f *Frame) buildIndexes() { f.buildIndexesParallel(1) }
 
 // Frame is the immutable struct-of-arrays form of one analysis window:
 // every Record field lives in its own column, switch paths are interned

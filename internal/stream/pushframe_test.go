@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// frameResult captures everything an emitted window exposes, with the frame
+// reduced to its serialized bytes — the strictest identity.
+type frameResult struct {
+	Seq        int
+	Start, End time.Time
+	Rows       int
+	Bytes      []byte
+}
+
+func newCaptureEngine(cfg Config) *Engine[struct{}] {
+	return New(cfg, func(_ context.Context, _ Window, _ *flow.Frame) (struct{}, error) {
+		return struct{}{}, nil
+	})
+}
+
+func capture(t *testing.T, out []frameResult, results []Result[struct{}]) []frameResult {
+	t.Helper()
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		var buf bytes.Buffer
+		if _, err := r.Frame.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frameResult{
+			Seq: r.Window.Seq, Start: r.Window.Start, End: r.Window.End,
+			Rows: r.Rows, Bytes: buf.Bytes(),
+		})
+	}
+	return out
+}
+
+func captureAll(t *testing.T, e *Engine[struct{}]) []frameResult {
+	t.Helper()
+	results, err := e.Flush(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return capture(t, nil, results)
+}
+
+// pushFrameRecords builds a spread of records with shared switch paths,
+// duplicates and stragglers across several window widths.
+func pushFrameRecords(seed int64, n int, span time.Duration) []flow.Record {
+	rng := rand.New(rand.NewSource(seed))
+	paths := [][]flow.SwitchID{nil, {1, 9, 2}, {1, 8, 2}, {3, 9, 4}, {3, 8, 4, 9}}
+	records := make([]flow.Record, n)
+	for i := range records {
+		records[i] = flow.Record{
+			ID:       uint64(i + 1),
+			Start:    epoch.Add(time.Duration(rng.Int63n(int64(span)))),
+			Duration: time.Duration(rng.Int63n(int64(time.Second))),
+			Src:      flow.Addr(rng.Intn(8)),
+			Dst:      flow.Addr(rng.Intn(8)),
+			Bytes:    rng.Int63n(1 << 20),
+			Switches: paths[rng.Intn(len(paths))],
+		}
+		if i > 0 && rng.Intn(12) == 0 {
+			records[i] = records[i-1]
+		}
+	}
+	return records
+}
+
+// TestPushFrameMatchesPush is the engine-level equivalence gate: feeding
+// frames through PushFrame must emit exactly the windows, rows, late counts
+// and byte-identical frames the per-record Push reference produces — for
+// tumbling and overlapping grids, several pipeline depths, and arrival
+// batchings that include late rows.
+func TestPushFrameMatchesPush(t *testing.T) {
+	records := pushFrameRecords(1, 2000, time.Minute)
+	configs := []Config{
+		{Width: 10 * time.Second},
+		{Width: 10 * time.Second, Lateness: 2 * time.Second},
+		{Width: 12 * time.Second, Hop: 4 * time.Second, Lateness: time.Second},
+		{Width: 10 * time.Second, Lateness: 2 * time.Second, MaxInFlight: 4},
+	}
+	for ci, cfg := range configs {
+		for _, batch := range []int{1, 7, 200, len(records)} {
+			ref := newCaptureEngine(cfg)
+			bulk := newCaptureEngine(cfg)
+			var want, got []frameResult
+			for lo := 0; lo < len(records); lo += batch {
+				hi := lo + batch
+				if hi > len(records) {
+					hi = len(records)
+				}
+				chunk := records[lo:hi]
+				if err := ref.Push(context.Background(), chunk); err != nil {
+					t.Fatal(err)
+				}
+				want = capture(t, want, ref.Ready())
+				if err := bulk.PushFrame(context.Background(), flow.NewFrame(chunk)); err != nil {
+					t.Fatal(err)
+				}
+				got = capture(t, got, bulk.Ready())
+			}
+			want = append(want, captureAll(t, ref)...)
+			got = append(got, captureAll(t, bulk)...)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("config %d batch %d: PushFrame windows diverge from Push (%d vs %d windows)",
+					ci, batch, len(want), len(got))
+			}
+			if ref.Late() != bulk.Late() {
+				t.Fatalf("config %d batch %d: late %d (push) vs %d (frame)", ci, batch, ref.Late(), bulk.Late())
+			}
+			if ref.Skipped() != bulk.Skipped() {
+				t.Fatalf("config %d batch %d: skipped diverge", ci, batch)
+			}
+		}
+	}
+}
+
+// TestPushFrameAnchorsLikePush: the first frame anchors the grid at its
+// earliest row, exactly as the first Push batch does.
+func TestPushFrameAnchorsLikePush(t *testing.T) {
+	records := []flow.Record{rec(2, 9*time.Second), rec(1, 3*time.Second), rec(3, 15*time.Second)}
+	ref := newCaptureEngine(Config{Width: 10 * time.Second})
+	if err := ref.Push(context.Background(), records); err != nil {
+		t.Fatal(err)
+	}
+	bulk := newCaptureEngine(Config{Width: 10 * time.Second})
+	if err := bulk.PushFrame(context.Background(), flow.NewFrame(records)); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Anchor().Equal(bulk.Anchor()) {
+		t.Fatalf("anchor %v (push) vs %v (frame)", ref.Anchor(), bulk.Anchor())
+	}
+	if want, got := captureAll(t, ref), captureAll(t, bulk); !reflect.DeepEqual(want, got) {
+		t.Fatal("windows diverge after identical anchoring")
+	}
+}
+
+// TestPushFrameLateFrame: a whole frame older than the emitted grid is
+// dropped as late, one count per row per missed window, with no windows
+// reopened.
+func TestPushFrameLateFrame(t *testing.T) {
+	e := newCaptureEngine(Config{Width: 10 * time.Second})
+	if err := e.Push(context.Background(), []flow.Record{rec(1, time.Second), rec(2, 25*time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	e.Ready()
+	late := flow.NewFrame([]flow.Record{rec(3, 2*time.Second), rec(4, 3*time.Second)})
+	if err := e.PushFrame(context.Background(), late); err != nil {
+		t.Fatal(err)
+	}
+	if e.Late() != 2 {
+		t.Fatalf("late = %d, want 2", e.Late())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (only the on-time record)", e.Pending())
+	}
+}

@@ -42,6 +42,7 @@ package stream
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"github.com/llmprism/llmprism/internal/flow"
@@ -291,6 +292,99 @@ func (e *Engine[R]) Push(ctx context.Context, records []flow.Record) error {
 	}
 	// Close windows only after the whole batch landed, so records within
 	// one push never race their own batch's watermark.
+	return e.closeDue(ctx)
+}
+
+// PushFrame ingests one already-columnar frame — the bulk counterpart of
+// Push, and the seam the daemon's wire ingest and archive replay feed. Rows
+// route to their windows with one path-table remap per touched window
+// (FrameBuilder.InternTable + AppendFrameRows) instead of materializing and
+// re-interning a Record per row. Semantics are identical to
+// Push(f.RecordsByStart()): the grid anchors at the frame's earliest start,
+// the same windows close, the same record-to-window assignments count late
+// — and, frames being canonical under Build, every emitted frame is
+// byte-identical to the per-record path's.
+func (e *Engine[R]) PushFrame(ctx context.Context, f *flow.Frame) error {
+	n := f.Len()
+	if n == 0 {
+		return nil
+	}
+	if !e.anchored {
+		e.anchor = f.MinStartNanos()
+		e.maxEvent = e.anchor
+		e.anchored = true
+	}
+	if t := f.MaxStartNanos(); t > e.maxEvent {
+		e.maxEvent = t
+	}
+	hop, width := int64(e.cfg.Hop), int64(e.cfg.Width)
+	// Fast path: the frame's earliest and latest rows each belong to
+	// exactly one window and it is the same one — then so does every row
+	// between them (window assignment is monotone in start time), and the
+	// whole frame bulk-appends with no per-row routing. This is the common
+	// shape when replaying an archived session on its original grid.
+	loD := f.MinStartNanos() - e.anchor
+	hiD := f.MaxStartNanos() - e.anchor
+	if k := FloorDiv(loD, hop); k == FloorDiv(hiD, hop) &&
+		FloorDiv(loD-width, hop)+1 == k && FloorDiv(hiD-width, hop)+1 == k {
+		e.routeRows(f, k, nil, n)
+		return e.closeDue(ctx)
+	}
+	// General path: bucket row indices per window index, then bulk-append
+	// each bucket. Buckets are processed in ascending k for determinism of
+	// builder allocation order (the emitted frames do not depend on it).
+	buckets := make(map[int64][]int32)
+	ks := make([]int64, 0, 4)
+	for i := 0; i < n; i++ {
+		d := f.StartNanos(i) - e.anchor
+		kHi := FloorDiv(d, hop)
+		kLo := FloorDiv(d-width, hop) + 1
+		for k := kLo; k <= kHi; k++ {
+			if _, ok := buckets[k]; !ok {
+				ks = append(ks, k)
+			}
+			buckets[k] = append(buckets[k], int32(i))
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	for _, k := range ks {
+		rows := buckets[k]
+		e.routeRows(f, k, rows, len(rows))
+	}
+	return e.closeDue(ctx)
+}
+
+// routeRows lands count rows of f (all rows when rows is nil) in window k,
+// mirroring ingest's per-record late accounting and pre-emission grid
+// extension. Each call interns f's whole path table into the window's
+// builder once; Build drops whatever the window's rows never reference.
+func (e *Engine[R]) routeRows(f *flow.Frame, k int64, rows []int32, count int) {
+	if e.haveK && k < e.nextK {
+		if e.started {
+			e.late += uint64(count)
+			return
+		}
+		e.nextK = k // emission not begun: the grid extends backwards
+	}
+	if !e.haveK {
+		e.nextK = k
+		e.haveK = true
+	}
+	w := e.open[k]
+	if w == nil {
+		w = &openWindow{b: flow.NewFrameBuilder()}
+		e.open[k] = w
+	}
+	w.b.Grow(count)
+	remap := w.b.InternTable(f.PathTable())
+	w.b.AppendFrameRows(f, remap, rows)
+	w.rows += count
+	e.pending += count
+}
+
+// closeDue dispatches every window the current watermark closes — the
+// shared tail of Push and PushFrame.
+func (e *Engine[R]) closeDue(ctx context.Context) error {
 	if !e.haveK {
 		return nil
 	}
@@ -397,7 +491,10 @@ func (e *Engine[R]) dispatch(ctx context.Context, k int64) error {
 		defer func() { <-e.sem }()
 		var f *flow.Frame
 		if b != nil {
-			f = b.Build()
+			// BuildParallel is byte-identical to the serial Build for any
+			// worker count; GOMAXPROCS cuts the close-time sort off the
+			// window-release critical path.
+			f = b.BuildParallel(0)
 		} else {
 			f = flow.NewFrame(nil)
 		}

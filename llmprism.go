@@ -319,10 +319,12 @@ type jobAnalysis struct {
 // It is a thin adapter over AnalyzeFrameContext: the window is loaded once
 // into a columnar flow.Frame (which also establishes the canonical sort
 // order, so no separate sorted copy is made) and analyzed from there. The
-// report is bit-identical to analyzing the records directly with the
-// classic record-slice pipeline.
+// frame build runs at the analyzer's worker count — byte-identical to the
+// serial build for every count — so the sort is not a serial prefix on the
+// multi-worker critical path. The report is bit-identical to analyzing the
+// records directly with the classic record-slice pipeline.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, records []flow.Record, mapper jobrec.ServerMapper) (*Report, error) {
-	return a.AnalyzeFrameContext(ctx, flow.NewFrame(records), mapper)
+	return a.AnalyzeFrameContext(ctx, flow.NewFrameParallel(records, a.cfg.Workers), mapper)
 }
 
 // AnalyzeFrameContext runs the full pipeline over one columnar frame,

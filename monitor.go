@@ -779,6 +779,26 @@ func (s *MonitorStream) Push(records []FlowRecord) ([]*Report, error) {
 	return s.collect(s.eng.Ready())
 }
 
+// PushFrame ingests one already-columnar frame — the bulk counterpart of
+// Push, used by archive replay (and, eventually, the daemon's LPF1 wire
+// ingest) so a decoded window never materializes per-record structs. It is
+// semantically Push(f.RecordsByStart()) — same windows, same late counts,
+// bit-identical reports and archived frames — at a fraction of the
+// allocations.
+func (s *MonitorStream) PushFrame(f *FlowFrame) ([]*Report, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, fmt.Errorf("llmprism: push on a closed monitor stream")
+	}
+	if err := s.eng.PushFrame(s.ctx, f); err != nil {
+		s.err = err
+		return nil, err
+	}
+	return s.collect(s.eng.Ready())
+}
+
 // Close flushes every remaining window — partial trailing windows
 // included — waits for in-flight analyses and returns the remaining
 // reports in window order. With an archive sink configured it then stamps
