@@ -9,7 +9,7 @@
 //	llmprism diagnose -flows flows.csv -topo topo.json [-localize] [-bucket 1m] [-workers 8]
 //	llmprism timeline -flows flows.csv -topo topo.json [-job 0] [-ranks 8] [-width 120]
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
-//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize] [-suppress-chronic]
+//	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize] [-suppress-chronic] [-checkpoint state.llpk]
 //	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
 //	llmprism replay   -archive trace.llpa -topo topo.json [-recover] [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
 //
@@ -22,6 +22,8 @@
 // after their end), pushed in -batch-sized slices, and analyzed in a
 // pipeline -depth windows deep. Each window prints its job, alert and
 // ongoing-incident summary; late records are counted, not misfiled.
+// -checkpoint additionally persists the session's continuity state after
+// every window (atomically), for crash-resume.
 //
 // -suppress-chronic turns the alert feed incident-centric: anomalies that
 // fire from the monitor's first windows and never resolve are classified
@@ -55,6 +57,11 @@
 // of whole windows replays exactly as it would from the clean archive,
 // and a recovery note describing the salvaged/discarded byte counts goes
 // to stderr so stdout stays comparable line for line.
+//
+// The monitor, record and replay subcommands are thin adapters over
+// internal/session, the same session lifecycle the llmprismd fleet daemon
+// runs per cluster — one Config assembled from the flags, one Session
+// driving open → push → close.
 package main
 
 import (
@@ -69,9 +76,9 @@ import (
 	"time"
 
 	"github.com/llmprism/llmprism"
-	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/session"
 	"github.com/llmprism/llmprism/internal/topology"
 	"github.com/llmprism/llmprism/internal/viz"
 )
@@ -105,6 +112,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		batch       = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
 		depth       = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
 		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
+		ckptPath    = fs.String("checkpoint", "", "session checkpoint file, saved after every window (monitor, record)")
 		localized   = fs.Bool("localize", false, "rank root-cause suspect components (diagnose, monitor, record, replay)")
 		suppress    = fs.Bool("suppress-chronic", false, "suppress persistent anomalies from the alert surface (monitor, record, replay)")
 		salvage     = fs.Bool("recover", false, "salvage the intact prefix of a torn/unclosed archive (replay)")
@@ -116,25 +124,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	aopts := []llmprism.Option{
-		llmprism.WithSwitchBucket(*bucket),
-		llmprism.WithWorkers(*workers),
-	}
-	if *localized {
-		aopts = append(aopts, llmprism.WithLocalization(llmprism.LocalizationConfig{}))
-	}
-	analyzer := llmprism.New(aopts...)
-	// The topology-aware subcommands (diagnose, monitor, record, replay)
-	// stratify the switch-bandwidth peer comparison by tier: leaves are
-	// judged against leaves, spines against spines. analyze/switches keep
-	// the historical pooled comparison.
-	tiered := func(topo *topology.Topology) *llmprism.Analyzer {
-		return llmprism.New(append(aopts, llmprism.WithSwitchTiers(func(sw llmprism.SwitchID) int {
-			if topo.IsSpine(sw) {
-				return 1
-			}
-			return 0
-		}))...)
+	// One shared option set for every subcommand: the session config is
+	// assembled once from the flags, and each path derives its analyzer
+	// (pooled or tier-stratified) and monitor options from it.
+	cfg := session.Config{
+		Bucket:   *bucket,
+		Workers:  *workers,
+		Localize: *localized,
+		Suppress: *suppress,
+		Window:   *window,
+		Hop:      *hop,
+		Lateness: *lateness,
+		Depth:    *depth,
 	}
 	if cmd == "replay" {
 		// Replay needs no flow file: the archive is the trace.
@@ -142,29 +143,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runReplay(ctx, stdout, stderr, *archivePath, topo, tiered(topo), *window, *lateness, *depth, *suppress, *salvage)
+		cfg.Topo = topo
+		return runReplay(ctx, stdout, stderr, *archivePath, cfg, *salvage)
 	}
 
 	records, topo, err := load(*flowsPath, *topoPath)
 	if err != nil {
 		return err
 	}
+	cfg.Topo = topo
 	switch cmd {
 	case "monitor":
-		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, "", *suppress)
+		cfg.CheckpointPath = *ckptPath
+		return runMonitor(ctx, stdout, records, cfg, *batch)
 	case "record":
 		if *archivePath == "" {
 			return fmt.Errorf("record requires -archive")
 		}
-		return runMonitor(ctx, stdout, records, topo, tiered(topo), *window, *hop, *lateness, *batch, *depth, *archivePath, *suppress)
+		cfg.ArchivePath = *archivePath
+		cfg.CheckpointPath = *ckptPath
+		return runMonitor(ctx, stdout, records, cfg, *batch)
 	case "diagnose":
-		report, err := tiered(topo).AnalyzeContext(ctx, records, topo)
+		report, err := cfg.TieredAnalyzer().AnalyzeContext(ctx, records, topo)
 		if err != nil {
 			return err
 		}
 		return printDiagnose(stdout, report, topo, *localized)
 	}
-	report, err := analyzer.AnalyzeContext(ctx, records, topo)
+	report, err := cfg.Analyzer().AnalyzeContext(ctx, records, topo)
 	if err != nil {
 		return err
 	}
@@ -218,80 +224,18 @@ func printDiagnose(stdout io.Writer, report *llmprism.Report, topo *topology.Top
 	return nil
 }
 
-// printReports writes the per-window summary lines both the monitor and
-// replay paths emit — identical formatting, so a recorded session and its
-// replay can be compared line for line.
-func printReports(stdout io.Writer, reports []*llmprism.Report) {
-	for _, r := range reports {
-		alerts := r.Alerts()
-		fmt.Fprintf(stdout, "window %d [%s..%s): %d jobs, %d alerts, %d incidents\n",
-			r.Window.Seq,
-			r.Window.Start.Format(time.TimeOnly), r.Window.End.Format(time.TimeOnly),
-			len(r.Jobs), len(alerts), len(r.Incidents))
-		for _, inc := range r.Incidents {
-			state := fmt.Sprintf("firing %d windows, first seen %s",
-				inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
-			if inc.Chronic {
-				state = "chronic, " + state
-			}
-			if !inc.StillFiring {
-				state = "resolved"
-			}
-			fmt.Fprintf(stdout, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
-		}
-		for i, s := range r.Suspects {
-			if i == 3 {
-				fmt.Fprintf(stdout, "  … and %d more suspects\n", len(r.Suspects)-i)
-				break
-			}
-			fmt.Fprintf(stdout, "  suspect #%d %v: score %.2f, suspect for %d windows since %s\n",
-				i+1, s.Component, s.Score, s.Windows, s.FirstSeen.Format(time.TimeOnly))
-		}
-		for i, s := range r.FusedSuspects {
-			if i == 3 {
-				fmt.Fprintf(stdout, "  … and %d more fused suspects\n", len(r.FusedSuspects)-i)
-				break
-			}
-			fmt.Fprintf(stdout, "  fused #%d %v: fused %.2f over %d windows since %s\n",
-				i+1, s.Component, s.Fused, s.Windows, s.FirstSeen.Format(time.TimeOnly))
-		}
-	}
-}
-
 // runMonitor replays the flow file through a streaming monitor session in
 // collection order, printing one line per completed window plus its
-// ongoing incidents. A non-empty archivePath (the record subcommand) also
-// persists every completed window's columnar frame to a binary trace
-// archive for later deterministic replay.
-func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, topo *topology.Topology, analyzer *llmprism.Analyzer, window, hop, lateness, batch time.Duration, depth int, archivePath string, suppress bool) error {
-	opts := []llmprism.MonitorOption{
-		llmprism.WithLateness(lateness),
-		llmprism.WithPipelineDepth(depth),
-	}
-	if hop > 0 {
-		opts = append(opts, llmprism.WithHop(hop))
-	}
-	if suppress {
-		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
-	}
-	// The archive is captured under a temporary name and renamed into
-	// place only after a clean close, so an interrupted record run never
-	// leaves a torn file where a finished archive is expected. (The torn
-	// temporary is kept for replay -recover.)
-	var af *os.File
-	tmpPath := archivePath + ".tmp"
-	if archivePath != "" {
-		var err error
-		if af, err = os.Create(tmpPath); err != nil {
-			return err
-		}
-		defer af.Close()
-		opts = append(opts, llmprism.WithArchive(af))
-	}
-	monitor, err := llmprism.NewMonitor(analyzer, topo, window, opts...)
+// ongoing incidents. A config with an ArchivePath (the record subcommand)
+// also persists every completed window's columnar frame to a binary trace
+// archive for later deterministic replay. All session wiring — analyzer
+// assembly, archive temporary, checkpointing — lives in internal/session.
+func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, cfg session.Config, batch time.Duration) error {
+	s, err := session.Open(ctx, cfg)
 	if err != nil {
 		return err
 	}
+	defer s.Abort()
 	if batch <= 0 {
 		batch = 10 * time.Second
 	}
@@ -300,13 +244,8 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 	copy(sorted, records)
 	flow.SortByStart(sorted)
 	fmt.Fprintf(stdout, "monitoring %d records: window %v, hop %v, lateness %v, pipeline depth %d\n\n",
-		len(sorted), monitor.Window(), monitor.Hop(), monitor.Lateness(), depth)
+		len(sorted), s.Window(), s.Hop(), s.Lateness(), cfg.Depth)
 
-	s, err := monitor.Stream(ctx)
-	if err != nil {
-		return err
-	}
-	windows := 0
 	for lo := 0; lo < len(sorted); {
 		cut := sorted[lo].Start.Add(batch)
 		hi := lo
@@ -314,31 +253,20 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 			hi++
 		}
 		reports, err := s.Push(sorted[lo:hi])
-		windows += len(reports)
-		printReports(stdout, reports)
+		session.PrintReports(stdout, reports)
 		if err != nil {
 			return err
 		}
 		lo = hi
 	}
 	reports, err := s.Close()
-	windows += len(reports)
-	printReports(stdout, reports)
+	session.PrintReports(stdout, reports)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", s.Late())
-	if af != nil {
-		if err := af.Sync(); err != nil {
-			return err
-		}
-		if err := af.Close(); err != nil {
-			return err
-		}
-		if err := os.Rename(tmpPath, archivePath); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "archived %d windows to %s\n", windows, archivePath)
+	if cfg.ArchivePath != "" {
+		fmt.Fprintf(stdout, "archived %d windows to %s\n", s.Windows(), cfg.ArchivePath)
 	}
 	return nil
 }
@@ -350,79 +278,28 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, to
 // With salvage set, torn or unclosed archives are recovered to their
 // intact whole-window prefix; the recovery note goes to stderr so stdout
 // stays line-comparable with a clean replay of the same prefix.
-func runReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string, topo *topology.Topology, analyzer *llmprism.Analyzer, window, lateness time.Duration, depth int, suppress, salvage bool) error {
+func runReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string, cfg session.Config, salvage bool) error {
 	if archivePath == "" {
 		return fmt.Errorf("replay requires -archive")
 	}
-	f, err := os.Open(archivePath)
+	rep, err := session.OpenReplay(ctx, cfg, archivePath, salvage)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	var ar *archive.Reader
-	if salvage {
-		var rep *archive.RecoveryReport
-		ar, rep, err = archive.OpenReaderRecovering(f, st.Size())
-		if err != nil {
-			return err
-		}
-		if !rep.Clean {
-			fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", rep)
-		}
-	} else {
-		ar, err = archive.OpenReader(f, st.Size())
-		if err != nil {
-			return err
-		}
-	}
-	meta := ar.Meta()
-	if meta.Width == 0 {
-		// Unwindowed capture: the flags supply the grid.
-		meta.Width, meta.Hop, meta.Lateness = window, window, lateness
-	}
-	if meta.Hop > 0 && meta.Hop < meta.Width {
-		return fmt.Errorf("replay: archive recorded overlapping windows (hop %v < width %v); records would be duplicated across windows", meta.Hop, meta.Width)
-	}
-	opts := []llmprism.MonitorOption{
-		llmprism.WithLateness(meta.Lateness),
-		llmprism.WithPipelineDepth(depth),
-	}
-	if suppress {
-		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
-	}
-	if !ar.Anchor().IsZero() {
-		opts = append(opts, llmprism.WithAnchor(ar.Anchor()))
-	}
-	monitor, err := llmprism.NewMonitor(analyzer, topo, meta.Width, opts...)
-	if err != nil {
-		return err
+	defer rep.Release()
+	defer rep.Abort()
+	if rep.Recovery != nil {
+		fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", rep.Recovery)
 	}
 	fmt.Fprintf(stdout, "replaying %d archived windows: window %v, hop %v, lateness %v, pipeline depth %d\n\n",
-		ar.NumSegments(), monitor.Window(), monitor.Hop(), monitor.Lateness(), depth)
+		rep.NumSegments(), rep.Window(), rep.Hop(), rep.Lateness(), cfg.Depth)
 
-	s, err := monitor.Stream(ctx)
-	if err != nil {
-		return err
-	}
-	if err := ar.Replay(func(seg archive.Segment, fr *flow.Frame) error {
-		// Bulk columnar ingest: the decoded frame goes straight into the
-		// window builders, no Record materialization.
-		reports, err := s.PushFrame(fr)
-		printReports(stdout, reports)
-		return err
+	if err := rep.Run(func(reports []*llmprism.Report) {
+		session.PrintReports(stdout, reports)
 	}); err != nil {
 		return err
 	}
-	reports, err := s.Close()
-	printReports(stdout, reports)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", s.Late())
+	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", rep.Late())
 	return nil
 }
 

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/session"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+// daemonTrace simulates one cluster's flow trace, sorted by start. Each
+// seed yields a distinct workload on the same fabric shape.
+func daemonTrace(t testing.TB, seed int64) ([]flow.Record, *topology.Topology) {
+	t.Helper()
+	spec := llmprism.TopologySpec{Nodes: 24, NodesPerLeaf: 8, Spines: 4}
+	jobs, err := llmprism.PlanJobs(spec, []llmprism.JobPlan{
+		{Nodes: 8, TargetStep: 2 * time.Second},
+		{Nodes: 4, TargetStep: 3 * time.Second},
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := llmprism.Simulate(llmprism.Scenario{
+		Name: "daemon", Topo: spec, Jobs: jobs, Horizon: 12 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]flow.Record, len(res.Records))
+	copy(records, res.Records)
+	flow.SortByStart(records)
+	return records, res.Topo
+}
+
+// chunkFrames slices a sorted trace into collector-sized frames in
+// event-time order — the shape a real collector ships, not aligned to the
+// daemon's analysis windows.
+func chunkFrames(records []flow.Record, per int) []*flow.Frame {
+	var frames []*flow.Frame
+	for lo := 0; lo < len(records); lo += per {
+		hi := min(lo+per, len(records))
+		frames = append(frames, flow.NewFrame(records[lo:hi]))
+	}
+	return frames
+}
+
+// offlineText replays the exact frames through a bare session — the
+// offline reference every daemon-ingested report stream must match bit for
+// bit.
+func offlineText(t testing.TB, cfg session.Config, frames []*flow.Frame) string {
+	t.Helper()
+	s, err := session.Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	var b strings.Builder
+	for _, f := range frames {
+		reports, err := s.PushFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		session.PrintReports(&b, reports)
+	}
+	reports, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.PrintReports(&b, reports)
+	return b.String()
+}
+
+// startTestDaemon binds a daemon on loopback listeners and returns it with
+// its ingest address and query base URL.
+func startTestDaemon(t testing.TB, topo *topology.Topology, dir string) (*daemon, string, string) {
+	t.Helper()
+	ingestLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := daemonConfig{
+		base: session.Config{
+			Topo:     topo,
+			Workers:  2,
+			Localize: true,
+			Suppress: true,
+			Window:   5 * time.Second,
+			Lateness: 2 * time.Second,
+			Depth:    2,
+		},
+		dir:         dir,
+		maxSessions: 8,
+		pending:     2,
+		logf:        t.Logf,
+	}
+	d, err := newDaemon(context.Background(), cfg, ingestLn, queryLn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Serve()
+	return d, ingestLn.Addr().String(), "http://" + queryLn.Addr().String()
+}
+
+// streamFrames plays one collector connection: hello, frames, end-of-stream,
+// then blocks until the daemon closes the connection — its confirmation
+// that every frame was pushed.
+func streamFrames(addr, cluster string, frames []*flow.Frame) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := session.WriteHello(conn, cluster); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if err := session.WriteFrameMessage(conn, f); err != nil {
+			return err
+		}
+	}
+	if err := session.WriteEndOfStream(conn); err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, conn)
+	return err
+}
+
+func httpGet(t testing.TB, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonTwoClusterIngestMatchesOfflineReplay is the daemon's
+// equivalence gate (and the CI smoke): two clusters stream concurrently
+// over the wire — arbitrary cross-cluster interleaving — and each
+// cluster's queried report text must be bit-identical to an offline replay
+// of its frames. Shutdown must finalize both archives; the finalized
+// archives must themselves replay to the same text.
+func TestDaemonTwoClusterIngestMatchesOfflineReplay(t *testing.T) {
+	recordsA, topo := daemonTrace(t, 7)
+	recordsB, _ := daemonTrace(t, 99)
+	framesA := chunkFrames(recordsA, 500)
+	framesB := chunkFrames(recordsB, 300)
+
+	dir := t.TempDir()
+	d, ingestAddr, queryURL := startTestDaemon(t, topo, dir)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, c := range []struct {
+		cluster string
+		frames  []*flow.Frame
+	}{{"east", framesA}, {"west", framesB}} {
+		wg.Add(1)
+		go func(i int, cluster string, frames []*flow.Frame) {
+			defer wg.Done()
+			errs[i] = streamFrames(ingestAddr, cluster, frames)
+		}(i, c.cluster, c.frames)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("collector %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	want := map[string]string{
+		"east": offlineText(t, d.cfg.base, framesA),
+		"west": offlineText(t, d.cfg.base, framesB),
+	}
+	if want["east"] == want["west"] {
+		t.Fatal("test traces degenerate: both clusters produce identical reports")
+	}
+	for cluster, wantText := range want {
+		if wantText == "" {
+			t.Fatalf("offline reference for %s released no windows", cluster)
+		}
+		code, body := httpGet(t, queryURL+"/v1/report?cluster="+cluster)
+		if code != http.StatusOK {
+			t.Fatalf("report %s: status %d", cluster, code)
+		}
+		if body != wantText {
+			t.Errorf("cluster %s: daemon report text differs from offline replay\n got %d bytes\nwant %d bytes",
+				cluster, len(body), len(wantText))
+		}
+		code, latest := httpGet(t, queryURL+"/v1/latest?cluster="+cluster)
+		if code != http.StatusOK || latest == "" {
+			t.Fatalf("latest %s: status %d, %d bytes", cluster, code, len(latest))
+		}
+		if !strings.HasSuffix(wantText, latest) {
+			t.Errorf("cluster %s: latest window text is not the report's tail", cluster)
+		}
+
+		// The daemon's own finalized archive replays to the same text.
+		archivePath := filepath.Join(dir, cluster+".llpa")
+		if _, err := os.Stat(archivePath); err != nil {
+			t.Fatalf("cluster %s archive not finalized: %v", cluster, err)
+		}
+		if _, err := os.Stat(archivePath + ".tmp"); !os.IsNotExist(err) {
+			t.Fatalf("cluster %s archive temporary left behind (err=%v)", cluster, err)
+		}
+		rep, err := session.OpenReplay(context.Background(), d.cfg.base, archivePath, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replayed strings.Builder
+		if err := rep.Run(func(reports []*llmprism.Report) {
+			session.PrintReports(&replayed, reports)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rep.Release()
+		if replayed.String() != wantText {
+			t.Errorf("cluster %s: replay of daemon archive differs from offline reference", cluster)
+		}
+	}
+
+	code, clusters := httpGet(t, queryURL+"/v1/clusters")
+	if code != http.StatusOK {
+		t.Fatalf("clusters: status %d", code)
+	}
+	for _, cluster := range []string{"east", "west"} {
+		if !strings.Contains(clusters, "cluster "+cluster+": ") {
+			t.Errorf("clusters listing missing %s:\n%s", cluster, clusters)
+		}
+	}
+	if code, _ := httpGet(t, queryURL+"/v1/report?cluster=nosuch"); code != http.StatusNotFound {
+		t.Errorf("unknown cluster: status %d, want 404", code)
+	}
+	if code, _ := httpGet(t, queryURL+"/v1/report"); code != http.StatusBadRequest {
+		t.Errorf("missing cluster param: status %d, want 400", code)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonSurvivesGarbageConnections: junk hellos and abruptly dropped
+// streams must cost only their own connection — a well-behaved collector
+// on the same daemon still ingests and queries normally.
+func TestDaemonSurvivesGarbageConnections(t *testing.T) {
+	records, topo := daemonTrace(t, 7)
+	frames := chunkFrames(records, 500)
+	d, ingestAddr, queryURL := startTestDaemon(t, topo, "")
+
+	// Garbage hello.
+	conn, err := net.Dial("tcp", ingestAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	io.Copy(io.Discard, conn) // daemon closes on the bad magic
+	conn.Close()
+
+	// Valid hello, then the stream dies mid-frame without the sentinel.
+	conn, err = net.Dial("tcp", ingestAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteHello(conn, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteFrameMessage(conn, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0xFF, 0xFF}) // torn length prefix
+	conn.Close()
+
+	if err := streamFrames(ingestAddr, "steady", frames); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	code, body := httpGet(t, queryURL+"/v1/report?cluster=steady")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("steady cluster after garbage peers: status %d, %d bytes", code, len(body))
+	}
+	if body != offlineText(t, d.cfg.base, frames) {
+		t.Error("steady cluster's report text drifted from offline replay")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// Replay is a Session driven from a recorded binary trace archive instead
+// of live records: the archive's window geometry and grid anchor override
+// the config's, so the replayed session reproduces the recorded reports
+// bit for bit.
+type Replay struct {
+	*Session
+	f  *os.File
+	ar *archive.Reader
+	// Recovery describes what a salvage open of a torn or unclosed
+	// archive kept and discarded. It is nil when the archive opened
+	// cleanly (including a clean open under salvage mode).
+	Recovery *archive.RecoveryReport
+}
+
+// OpenReplay reopens a recorded trace archive and builds a fresh session
+// on the recorded window grid. The config's Window and Lateness are used
+// only for archives from unwindowed captures (zero recorded width); its
+// ArchivePath and Anchor are ignored — a replay never re-records itself,
+// and the grid anchor comes from the archive. With salvage set, a torn or
+// unclosed archive is recovered to its intact whole-window prefix
+// (Recovery then says what was lost); otherwise such archives are
+// rejected. Archives recorded with overlapping windows (hop < width) are
+// refused: their records would be duplicated across windows.
+func OpenReplay(ctx context.Context, cfg Config, path string, salvage bool) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var ar *archive.Reader
+	var recovery *archive.RecoveryReport
+	if salvage {
+		var rep *archive.RecoveryReport
+		ar, rep, err = archive.OpenReaderRecovering(f, st.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if !rep.Clean {
+			recovery = rep
+		}
+	} else {
+		ar, err = archive.OpenReader(f, st.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	meta := ar.Meta()
+	if meta.Width == 0 {
+		// Unwindowed capture: the config supplies the grid.
+		meta.Width, meta.Hop, meta.Lateness = cfg.Window, cfg.Window, cfg.Lateness
+	}
+	if meta.Hop > 0 && meta.Hop < meta.Width {
+		f.Close()
+		return nil, fmt.Errorf("replay: archive recorded overlapping windows (hop %v < width %v); records would be duplicated across windows", meta.Hop, meta.Width)
+	}
+	cfg.Window, cfg.Hop, cfg.Lateness = meta.Width, meta.Hop, meta.Lateness
+	cfg.Anchor = ar.Anchor()
+	cfg.ArchivePath = ""
+	s, err := Open(ctx, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Replay{Session: s, f: f, ar: ar, Recovery: recovery}, nil
+}
+
+// NumSegments returns the number of archived windows the replay covers.
+func (r *Replay) NumSegments() int { return r.ar.NumSegments() }
+
+// Run pushes every archived window's frame through the session via the
+// bulk columnar path, then closes it. emit receives each batch of released
+// reports in window order (possibly empty), including the trailing reports
+// Close flushes — the same interleaving the recording session printed, so
+// the emitted stream compares line for line.
+func (r *Replay) Run(emit func([]*llmprism.Report)) error {
+	if err := r.ar.Replay(func(_ archive.Segment, fr *flow.Frame) error {
+		reports, err := r.PushFrame(fr)
+		emit(reports)
+		return err
+	}); err != nil {
+		return err
+	}
+	reports, err := r.Close()
+	emit(reports)
+	return err
+}
+
+// Release closes the archive file. It does not touch the session; call
+// Close (or let Run do it) first.
+func (r *Replay) Release() error { return r.f.Close() }

@@ -1,0 +1,338 @@
+// Package session extracts the monitor-session lifecycle out of the CLI
+// into a reusable manager, so the same wiring serves one-shot commands
+// (llmprism monitor/record/replay) and the long-running multi-tenant fleet
+// daemon (llmprismd) without re-assembling analyzer options, archive
+// writers and checkpoint plumbing at every call site.
+//
+// The package has three layers:
+//
+//   - Config + Session: one options struct describing a monitor session —
+//     window geometry, analyzer knobs (bucket, workers, localization,
+//     chronic suppression), archive and checkpoint paths — and the session
+//     built from it. Open assembles the tier-stratified analyzer, the
+//     monitor options and (for recording) the temporary archive file once;
+//     the Session then owns the open → Push/PushFrame → checkpoint → Close
+//     lifecycle, finalizing the archive atomically (sync + rename; a
+//     crashed capture leaves only the salvageable .tmp). OpenReplay is the
+//     inverse: it reopens a recorded archive — strictly, or salvaging the
+//     intact prefix of a torn one — restores the recorded window grid and
+//     anchor, and replays every archived frame through a fresh Session,
+//     reproducing the recorded reports bit for bit.
+//
+//   - Manager: a multi-tenant session registry keyed by cluster ID.
+//     Sessions are created lazily on first use from a per-cluster Config
+//     builder, bounded by MaxSessions, and rejected with a precise error
+//     when two clusters would write the same archive or checkpoint path.
+//     Each ClusterSession serializes its pushes behind a mutex, so many
+//     collector connections can feed the manager concurrently while every
+//     cluster's window pipeline stays strictly ordered; completed reports
+//     are delivered, in window order, through the OnReports callback.
+//     Close checkpoints and finalizes every session in deterministic
+//     (sorted cluster) order.
+//
+//   - Wire framing (wire.go): the minimal length-prefixed LPF1 stream
+//     framing llmprismd ingests — an LPW1 hello naming the cluster, then
+//     u32-length-prefixed binary frames, then an end-of-stream marker —
+//     with a strict decoder matching the rest of the repo's wire surfaces
+//     (bounded allocations, exact-length validation, loud failure on
+//     garbage). See wire.go for the byte layout and version policy.
+//
+// Determinism discipline carries through every layer: a session fed the
+// same frames yields bit-identical reports whether it runs under the CLI,
+// the manager, or the daemon, for any worker count, pipeline depth, or
+// interleaving of other clusters' connections.
+package session
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/topology"
+)
+
+// Config describes one monitor session: the analysis knobs and window
+// geometry that cmd/llmprism's monitor, record and replay subcommands (and
+// every daemon cluster session) build their monitors from. The zero value
+// of each field keeps the corresponding library default.
+type Config struct {
+	// Topo is the fabric topology; it doubles as the endpoint→server
+	// mapper and as the leaf/spine classifier for tier-stratified switch
+	// diagnosis. Required.
+	Topo *topology.Topology
+	// Bucket is the switch-level aggregation bucket width (0 = library
+	// default).
+	Bucket time.Duration
+	// Workers bounds the per-job analysis fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Localize enables root-cause localization (ranked suspects plus the
+	// monitor's fused cross-window ranking).
+	Localize bool
+	// Suppress enables chronic-anomaly suppression (the incident-centric
+	// alert surface).
+	Suppress bool
+
+	// Window, Hop and Lateness set the event-time window geometry
+	// (Hop 0 = tumbling).
+	Window, Hop, Lateness time.Duration
+	// Depth bounds how many closed windows analyze concurrently.
+	Depth int
+
+	// ArchivePath, when non-empty, records every completed window into a
+	// binary trace archive at this path. The capture is written to
+	// ArchivePath+".tmp" and renamed into place only on a clean Close, so
+	// a crashed session never leaves a torn file under the final name
+	// (the .tmp remains for salvage).
+	ArchivePath string
+	// CheckpointPath, when non-empty, persists the session's continuity
+	// state there after every released window (atomic save), enabling
+	// crash-resume.
+	CheckpointPath string
+	// Anchor pre-sets the event-time grid origin; replay uses it to
+	// restore a recorded session's exact window grid. Zero anchors at the
+	// first record.
+	Anchor time.Time
+}
+
+// AnalyzerOptions returns the analyzer option set the config describes —
+// built once, shared by every subcommand, instead of the three hand-rolled
+// assemblies the CLI used to carry.
+func (c Config) AnalyzerOptions() []llmprism.Option {
+	opts := []llmprism.Option{llmprism.WithWorkers(c.Workers)}
+	if c.Bucket > 0 {
+		opts = append(opts, llmprism.WithSwitchBucket(c.Bucket))
+	}
+	if c.Localize {
+		opts = append(opts, llmprism.WithLocalization(llmprism.LocalizationConfig{}))
+	}
+	return opts
+}
+
+// Analyzer builds the plain (tier-pooled) analyzer — the historical
+// comparison the analyze/timeline/switches subcommands keep.
+func (c Config) Analyzer() *llmprism.Analyzer {
+	return llmprism.New(c.AnalyzerOptions()...)
+}
+
+// TieredAnalyzer builds the topology-aware analyzer the monitoring paths
+// use: the switch-bandwidth peer comparison is stratified by tier, so
+// leaves are judged against leaves and spines against spines.
+func (c Config) TieredAnalyzer() *llmprism.Analyzer {
+	topo := c.Topo
+	return llmprism.New(append(c.AnalyzerOptions(), llmprism.WithSwitchTiers(func(sw llmprism.SwitchID) int {
+		if topo.IsSpine(sw) {
+			return 1
+		}
+		return 0
+	}))...)
+}
+
+// monitorOptions assembles the monitor option set (everything but the
+// archive sink, which needs the opened temporary file).
+func (c Config) monitorOptions() []llmprism.MonitorOption {
+	opts := []llmprism.MonitorOption{
+		llmprism.WithLateness(c.Lateness),
+		llmprism.WithPipelineDepth(c.Depth),
+	}
+	if c.Hop > 0 {
+		opts = append(opts, llmprism.WithHop(c.Hop))
+	}
+	if c.Suppress {
+		opts = append(opts, llmprism.WithChronicSuppression(llmprism.IncidentConfig{}))
+	}
+	if !c.Anchor.IsZero() {
+		opts = append(opts, llmprism.WithAnchor(c.Anchor))
+	}
+	if c.CheckpointPath != "" {
+		opts = append(opts, llmprism.WithCheckpoint(c.CheckpointPath))
+	}
+	return opts
+}
+
+// Session is one open monitor-stream session built from a Config. It owns
+// the full lifecycle the CLI subcommands used to hand-roll: the streaming
+// monitor, the archive capture file (created as .tmp, finalized atomically
+// on Close) and the checkpoint plumbing. A Session is single-goroutine,
+// like the MonitorStream underneath; the Manager adds the per-cluster
+// serialization the daemon needs.
+type Session struct {
+	cfg     Config
+	monitor *llmprism.Monitor
+	stream  *llmprism.MonitorStream
+	af      *os.File
+	tmpPath string
+	windows int
+	closed  bool
+}
+
+// Open builds the session the config describes and starts its monitor
+// stream. ctx bounds every analysis the session runs. On error nothing is
+// left open, except that a created archive temporary stays on disk (the
+// same crash-salvage contract a mid-session failure has).
+func Open(ctx context.Context, cfg Config) (*Session, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("session: nil topology")
+	}
+	s := &Session{cfg: cfg}
+	opts := cfg.monitorOptions()
+	if cfg.ArchivePath != "" {
+		s.tmpPath = cfg.ArchivePath + ".tmp"
+		af, err := os.Create(s.tmpPath)
+		if err != nil {
+			return nil, err
+		}
+		s.af = af
+		opts = append(opts, llmprism.WithArchive(af))
+	}
+	monitor, err := llmprism.NewMonitor(cfg.TieredAnalyzer(), cfg.Topo, cfg.Window, opts...)
+	if err != nil {
+		s.Abort()
+		return nil, err
+	}
+	stream, err := monitor.Stream(ctx)
+	if err != nil {
+		s.Abort()
+		return nil, err
+	}
+	s.monitor, s.stream = monitor, stream
+	return s, nil
+}
+
+// Window returns the session's resolved window width.
+func (s *Session) Window() time.Duration { return s.monitor.Window() }
+
+// Hop returns the session's resolved window stride.
+func (s *Session) Hop() time.Duration { return s.monitor.Hop() }
+
+// Lateness returns the session's allowed out-of-orderness.
+func (s *Session) Lateness() time.Duration { return s.monitor.Lateness() }
+
+// Windows returns how many window reports the session has released so far.
+func (s *Session) Windows() int { return s.windows }
+
+// Late returns how many record-to-window assignments were dropped for
+// arriving past the lateness bound.
+func (s *Session) Late() uint64 { return s.stream.Late() }
+
+// Pending returns the number of record-to-window assignments buffered in
+// open windows.
+func (s *Session) Pending() int { return s.stream.Pending() }
+
+// Watermark returns the session's current event-time watermark.
+func (s *Session) Watermark() time.Time { return s.stream.Watermark() }
+
+// Checkpoint serializes the session's continuity state as of the most
+// recently released window to w — the explicit counterpart of
+// Config.CheckpointPath for callers that manage persistence themselves.
+func (s *Session) Checkpoint(w io.Writer) error { return s.stream.Checkpoint(w) }
+
+// Push ingests one batch of records and returns every report that became
+// ready, in window order.
+func (s *Session) Push(records []flow.Record) ([]*llmprism.Report, error) {
+	reports, err := s.stream.Push(records)
+	s.windows += len(reports)
+	return reports, err
+}
+
+// PushFrame ingests one already-columnar frame — the bulk counterpart of
+// Push used by archive replay and the daemon's wire ingest, so a decoded
+// window never materializes per-record structs.
+func (s *Session) PushFrame(f *flow.Frame) ([]*llmprism.Report, error) {
+	reports, err := s.stream.PushFrame(f)
+	s.windows += len(reports)
+	return reports, err
+}
+
+// Close flushes every remaining window, returns the trailing reports in
+// window order and — on a clean close with an archive configured — syncs
+// the capture temporary and renames it into its final path. On error the
+// temporary stays on disk for salvage and the final path is never touched.
+func (s *Session) Close() ([]*llmprism.Report, error) {
+	if s.closed {
+		return nil, fmt.Errorf("session: already closed")
+	}
+	s.closed = true
+	reports, err := s.stream.Close()
+	s.windows += len(reports)
+	if err != nil {
+		s.releaseArchive()
+		return reports, err
+	}
+	if s.af != nil {
+		af := s.af
+		s.af = nil
+		if err := af.Sync(); err != nil {
+			return reports, err
+		}
+		if err := af.Close(); err != nil {
+			return reports, err
+		}
+		if err := os.Rename(s.tmpPath, s.cfg.ArchivePath); err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// Abort releases the session's file handles without finalizing anything:
+// the archive temporary is closed but left on disk (salvageable with
+// replay -recover), and the final archive path is never created. Abort
+// after a clean Close is a no-op, so callers can defer it.
+func (s *Session) Abort() {
+	s.closed = true
+	s.releaseArchive()
+}
+
+// releaseArchive closes the capture temporary (if still open) without
+// renaming it into place.
+func (s *Session) releaseArchive() {
+	if s.af != nil {
+		s.af.Close()
+		s.af = nil
+	}
+}
+
+// PrintReports writes the per-window summary lines every monitoring
+// surface emits — the monitor/record/replay subcommands and the daemon's
+// query endpoint share it, so a recorded session, its replay and its
+// daemon-ingested twin can be compared line for line.
+func PrintReports(w io.Writer, reports []*llmprism.Report) {
+	for _, r := range reports {
+		alerts := r.Alerts()
+		fmt.Fprintf(w, "window %d [%s..%s): %d jobs, %d alerts, %d incidents\n",
+			r.Window.Seq,
+			r.Window.Start.Format(time.TimeOnly), r.Window.End.Format(time.TimeOnly),
+			len(r.Jobs), len(alerts), len(r.Incidents))
+		for _, inc := range r.Incidents {
+			state := fmt.Sprintf("firing %d windows, first seen %s",
+				inc.Windows, inc.FirstSeen.Format(time.TimeOnly))
+			if inc.Chronic {
+				state = "chronic, " + state
+			}
+			if !inc.StillFiring {
+				state = "resolved"
+			}
+			fmt.Fprintf(w, "  job %d %v: %s — %s\n", inc.Key.Job, inc.Key.Kind, state, inc.Detail)
+		}
+		for i, s := range r.Suspects {
+			if i == 3 {
+				fmt.Fprintf(w, "  … and %d more suspects\n", len(r.Suspects)-i)
+				break
+			}
+			fmt.Fprintf(w, "  suspect #%d %v: score %.2f, suspect for %d windows since %s\n",
+				i+1, s.Component, s.Score, s.Windows, s.FirstSeen.Format(time.TimeOnly))
+		}
+		for i, s := range r.FusedSuspects {
+			if i == 3 {
+				fmt.Fprintf(w, "  … and %d more fused suspects\n", len(r.FusedSuspects)-i)
+				break
+			}
+			fmt.Fprintf(w, "  fused #%d %v: fused %.2f over %d windows since %s\n",
+				i+1, s.Component, s.Fused, s.Windows, s.FirstSeen.Format(time.TimeOnly))
+		}
+	}
+}

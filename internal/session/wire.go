@@ -1,0 +1,179 @@
+package session
+
+// Wire framing: the minimal length-prefixed LPF1 stream framing llmprismd
+// ingests from collector connections. A connection carries exactly one
+// cluster's flow stream:
+//
+//	hello:  magic "LPW1" | idLen u8 | cluster id (idLen bytes)
+//	frame:  len u32 (little-endian) | LPF1 frame encoding (len bytes)
+//	...     (any number of frame messages, in event-time order)
+//	end:    len u32 == 0
+//
+// The cluster id names the tenant session the frames route into; it is
+// restricted to 1..128 bytes of [A-Za-z0-9._-] starting with an
+// alphanumeric, because the daemon derives per-cluster archive and
+// checkpoint file names from it. The frame payload is exactly the binary
+// columnar layout flow.Frame.WriteTo produces (magic "LPF1", CRC-trailed),
+// so the wire format inherits the frame codec's strict validation: the
+// decoder additionally requires the payload to consume its declared length
+// exactly — a frame shorter or longer than its prefix is a protocol error,
+// never a silent resync.
+//
+// Version policy: the "LPW1" magic carries the framing version, exactly
+// like the LPF/LPA/LPK magics of the other wire surfaces. Any incompatible
+// change to the hello or message layout bumps the digit; the decoder
+// accepts only the version it was built for, and a frame payload whose own
+// LPF version the decoder does not understand fails in flow.ReadFrame.
+// Decoding is bounded: the id length is one byte, frame lengths are capped
+// at MaxWireFrameLen, and the frame decoder's allocation growth is bounded
+// by bytes actually read, so a forged header cannot commit memory it never
+// sends.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// wireMagic identifies version 1 of the collector stream framing.
+var wireMagic = [4]byte{'L', 'P', 'W', '1'}
+
+const (
+	// MaxClusterIDLen bounds the cluster id carried in a hello.
+	MaxClusterIDLen = 128
+	// MaxWireFrameLen bounds one frame message's declared payload length
+	// (1 GiB — far above any real window, far below an allocation bomb).
+	MaxWireFrameLen = 1 << 30
+)
+
+// ValidateClusterID checks a cluster id against the wire (and file-name)
+// constraints: 1..128 bytes of [A-Za-z0-9._-], starting alphanumeric.
+func ValidateClusterID(id string) error {
+	if id == "" {
+		return fmt.Errorf("session: empty cluster id")
+	}
+	if len(id) > MaxClusterIDLen {
+		return fmt.Errorf("session: cluster id %q exceeds %d bytes", id, MaxClusterIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			continue
+		}
+		if i > 0 && (c == '-' || c == '_' || c == '.') {
+			continue
+		}
+		return fmt.Errorf("session: cluster id %q: byte %d (%q) outside [A-Za-z0-9._-] (first byte must be alphanumeric)", id, i, c)
+	}
+	return nil
+}
+
+// WriteHello writes the connection hello naming the cluster the stream's
+// frames belong to.
+func WriteHello(w io.Writer, cluster string) error {
+	if err := ValidateClusterID(cluster); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(wireMagic)+1+len(cluster))
+	buf = append(buf, wireMagic[:]...)
+	buf = append(buf, byte(len(cluster)))
+	buf = append(buf, cluster...)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("session: write hello: %w", err)
+	}
+	return nil
+}
+
+// ReadHello reads and validates a connection hello, returning the cluster
+// id the stream's frames route to.
+func ReadHello(r io.Reader) (string, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", fmt.Errorf("session: read hello: %w", err)
+	}
+	if [4]byte(hdr[:4]) != wireMagic {
+		return "", fmt.Errorf("session: bad hello magic %q (want %q)", hdr[:4], wireMagic[:])
+	}
+	n := int(hdr[4])
+	if n == 0 {
+		return "", fmt.Errorf("session: empty cluster id")
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", fmt.Errorf("session: read cluster id: %w", err)
+	}
+	cluster := string(id)
+	if err := ValidateClusterID(cluster); err != nil {
+		return "", err
+	}
+	return cluster, nil
+}
+
+// WriteFrameMessage writes one length-prefixed frame message. The prefix
+// is computed from the frame's closed-form encoded length, so the frame
+// streams straight to the wire without buffering.
+func WriteFrameMessage(w io.Writer, f *flow.Frame) error {
+	n := f.EncodedLen()
+	if n > MaxWireFrameLen {
+		return fmt.Errorf("session: frame encoding %d bytes exceeds wire limit %d", n, MaxWireFrameLen)
+	}
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[:], uint32(n))
+	if _, err := w.Write(p[:]); err != nil {
+		return fmt.Errorf("session: write frame length: %w", err)
+	}
+	m, err := f.WriteTo(w)
+	if err != nil {
+		return fmt.Errorf("session: write frame: %w", err)
+	}
+	if m != n {
+		return fmt.Errorf("session: frame encoded %d bytes, length prefix said %d", m, n)
+	}
+	return nil
+}
+
+// WriteEndOfStream writes the zero-length sentinel that cleanly terminates
+// a connection's frame stream.
+func WriteEndOfStream(w io.Writer) error {
+	var p [4]byte
+	if _, err := w.Write(p[:]); err != nil {
+		return fmt.Errorf("session: write end-of-stream: %w", err)
+	}
+	return nil
+}
+
+// ReadFrameMessage reads one frame message. It returns (nil, io.EOF) on
+// the clean end-of-stream sentinel; every other failure — including the
+// connection ending without the sentinel — is a real error. The payload
+// must decode as a canonical LPF1 frame and consume its declared length
+// exactly.
+func ReadFrameMessage(r io.Reader) (*flow.Frame, error) {
+	var p [4]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("session: stream ended without end-of-stream marker: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("session: read frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(p[:])
+	if n == 0 {
+		return nil, io.EOF
+	}
+	if n < flow.FrameOverhead {
+		return nil, fmt.Errorf("session: frame length %d below minimum frame size %d", n, flow.FrameOverhead)
+	}
+	if n > MaxWireFrameLen {
+		return nil, fmt.Errorf("session: frame length %d exceeds wire limit %d", n, MaxWireFrameLen)
+	}
+	lr := &io.LimitedReader{R: r, N: int64(n)}
+	f, err := flow.ReadFrame(lr)
+	if err != nil {
+		return nil, fmt.Errorf("session: decode frame: %w", err)
+	}
+	if lr.N != 0 {
+		return nil, fmt.Errorf("session: frame message carries %d bytes past the encoded frame", lr.N)
+	}
+	return f, nil
+}

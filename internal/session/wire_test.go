@@ -1,0 +1,229 @@
+package session_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+	"github.com/llmprism/llmprism/internal/session"
+)
+
+// wireFrame builds a small deterministic frame for wire tests.
+func wireFrame(t testing.TB, seed, n int) *flow.Frame {
+	t.Helper()
+	base := time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+	records := make([]flow.Record, n)
+	for i := range records {
+		records[i] = flow.Record{
+			ID:       uint64(seed*1000 + i),
+			Start:    base.Add(time.Duration(seed*int(time.Second)) + time.Duration(i)*50*time.Millisecond),
+			Duration: 20 * time.Millisecond,
+			Src:      flow.Addr(uint32(i % 7)),
+			Dst:      flow.Addr(uint32(i%7 + 8)),
+			Bytes:    int64(1000 + i),
+			Switches: []flow.SwitchID{flow.SwitchID(i % 3), 9},
+		}
+	}
+	return flow.NewFrame(records)
+}
+
+// encodeFrame renders a frame's canonical LPF1 bytes.
+func encodeFrame(t testing.TB, f *flow.Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	frames := []*flow.Frame{wireFrame(t, 0, 5), wireFrame(t, 1, 0), wireFrame(t, 2, 33)}
+	var buf bytes.Buffer
+	if err := session.WriteHello(&buf, "cluster-a.prod_1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := session.WriteFrameMessage(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := session.WriteEndOfStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bytes.NewReader(buf.Bytes())
+	cluster, err := session.ReadHello(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster != "cluster-a.prod_1" {
+		t.Fatalf("cluster = %q", cluster)
+	}
+	for i := 0; ; i++ {
+		f, err := session.ReadFrameMessage(r)
+		if err == io.EOF {
+			if i != len(frames) {
+				t.Fatalf("end-of-stream after %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got, want := encodeFrame(t, f), encodeFrame(t, frames[i]); !bytes.Equal(got, want) {
+			t.Fatalf("frame %d decoded to a different encoding (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left after end-of-stream", r.Len())
+	}
+}
+
+func TestValidateClusterID(t *testing.T) {
+	for _, id := range []string{"a", "A9", "prod-eu.west_2", "0cluster", strings.Repeat("x", session.MaxClusterIDLen)} {
+		if err := session.ValidateClusterID(id); err != nil {
+			t.Errorf("ValidateClusterID(%q) = %v, want nil", id, err)
+		}
+	}
+	for _, id := range []string{"", "-a", ".a", "_a", "a/b", "a b", "a\x00b", "ünïcode", strings.Repeat("x", session.MaxClusterIDLen+1)} {
+		if err := session.ValidateClusterID(id); err == nil {
+			t.Errorf("ValidateClusterID(%q) = nil, want error", id)
+		}
+	}
+}
+
+func TestReadHelloRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short magic":  []byte("LPW"),
+		"wrong magic":  []byte("LPX1\x01a"),
+		"old version":  []byte("LPW0\x01a"),
+		"zero id len":  []byte("LPW1\x00"),
+		"truncated id": []byte("LPW1\x05ab"),
+		"bad id byte":  []byte("LPW1\x03a/b"),
+		"bad first":    []byte("LPW1\x02-a"),
+	}
+	for name, data := range cases {
+		if _, err := session.ReadHello(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadHello accepted %q", name, data)
+		}
+	}
+}
+
+func TestReadFrameMessageStrict(t *testing.T) {
+	f := wireFrame(t, 3, 4)
+	enc := encodeFrame(t, f)
+	prefix := func(n uint32) []byte {
+		return []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+	}
+
+	// Stream ending without the sentinel is an unexpected EOF, not a clean
+	// end.
+	_, err := session.ReadFrameMessage(bytes.NewReader(nil))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("missing sentinel: err = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Declared length below the minimum frame size.
+	if _, err := session.ReadFrameMessage(bytes.NewReader(prefix(flow.FrameOverhead - 1))); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+	// Declared length above the wire cap.
+	if _, err := session.ReadFrameMessage(bytes.NewReader(prefix(session.MaxWireFrameLen + 1))); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// Truncated payload.
+	data := append(prefix(uint32(len(enc))), enc[:len(enc)-3]...)
+	if _, err := session.ReadFrameMessage(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Payload shorter than its declared length: the extra byte must be
+	// flagged, never silently consumed or resynced past.
+	data = append(prefix(uint32(len(enc)+1)), enc...)
+	data = append(data, 0xEE)
+	if _, err := session.ReadFrameMessage(bytes.NewReader(data)); err == nil {
+		t.Fatal("frame message with trailing byte accepted")
+	}
+	// Corrupted payload fails the frame codec's own validation.
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)-1] ^= 0xFF // CRC trailer
+	data = append(prefix(uint32(len(mut))), mut...)
+	if _, err := session.ReadFrameMessage(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+
+	// The exact encoding still decodes.
+	got, err := session.ReadFrameMessage(bytes.NewReader(append(prefix(uint32(len(enc))), enc...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeFrame(t, got), enc) {
+		t.Fatal("decoded frame re-encodes differently")
+	}
+}
+
+// FuzzSessionWire drives the wire decoder with arbitrary connection bytes:
+// a hello followed by frame messages. It must never panic, and any frame
+// it accepts must re-encode to a message the decoder accepts again,
+// byte-identically (the canonical-form property the LPF1 codec guarantees,
+// carried through the wire framing).
+func FuzzSessionWire(f *testing.F) {
+	valid := func(cluster string, frames ...*flow.Frame) []byte {
+		var buf bytes.Buffer
+		if err := session.WriteHello(&buf, cluster); err != nil {
+			f.Fatal(err)
+		}
+		for _, fr := range frames {
+			if err := session.WriteFrameMessage(&buf, fr); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := session.WriteEndOfStream(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid("a"))
+	f.Add(valid("cluster-b", wireFrame(f, 1, 3)))
+	f.Add(valid("c.0", wireFrame(f, 2, 0), wireFrame(f, 3, 17)))
+	if seed := valid("trunc", wireFrame(f, 4, 9)); len(seed) > 10 {
+		f.Add(seed[:len(seed)/2])
+		mut := append([]byte(nil), seed...)
+		mut[7] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte("LPW1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		cluster, err := session.ReadHello(r)
+		if err != nil {
+			return
+		}
+		if err := session.ValidateClusterID(cluster); err != nil {
+			t.Fatalf("ReadHello returned invalid cluster id %q: %v", cluster, err)
+		}
+		for {
+			fr, err := session.ReadFrameMessage(r)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := session.WriteFrameMessage(&buf, fr); err != nil {
+				t.Fatalf("accepted frame failed to re-encode: %v", err)
+			}
+			back, err := session.ReadFrameMessage(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded frame message rejected: %v", err)
+			}
+			if !bytes.Equal(encodeFrame(t, back), encodeFrame(t, fr)) {
+				t.Fatal("frame changed across wire round-trip")
+			}
+		}
+	})
+}
