@@ -11,7 +11,9 @@
 //	llmprism switches -flows flows.csv -topo topo.json [-bucket 1m]
 //	llmprism monitor  -flows flows.csv -topo topo.json [-window 1m] [-hop 30s] [-lateness 5s] [-batch 10s] [-depth 2] [-localize] [-suppress-chronic] [-checkpoint state.llpk]
 //	llmprism record   -flows flows.csv -topo topo.json -archive trace.llpa [monitor flags]
-//	llmprism replay   -archive trace.llpa -topo topo.json [-recover] [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
+//	llmprism record   -flows flows.csv -topo topo.json -store trace.llps [-rotate-windows N] [-rotate-bytes N] [-rotate-span 5m] [-retain-segments N] [-retain-bytes N] [monitor flags]
+//	llmprism replay   -archive <trace.llpa|store-dir> -topo topo.json [-recover] [-window 1m] [-lateness 5s] [-depth 2] [-localize] [-suppress-chronic]
+//	llmprism scan     -archive <trace.llpa|store-dir> [-from t] [-to t] [-pair 10.a.b.c,10.d.e.f] [-switch sw-3] [-recover] [-replay -topo topo.json [monitor flags]]
 //
 // -workers bounds the per-job fan-out of the analysis pipeline
 // (0 = GOMAXPROCS); the report is identical for any value.
@@ -41,22 +43,35 @@
 // link or host NIC most likely behind the symptoms.
 //
 // record is monitor plus persistence: every completed window's columnar
-// frame is appended to a binary trace archive alongside the printed
-// report. The archive is written to a temporary file and renamed into
-// place only after a clean close, so a crashed capture never leaves a
-// half-written file under the requested name. replay reopens such an
-// archive — no flow file, no text parsing, no re-sorting — and pushes the
-// archived windows back through a fresh monitor session on the recorded
-// window grid, reproducing the recorded session's reports bit for bit
-// (run with the same -bucket, -localize and detector settings used to
-// record). Archives written by an unwindowed capture (zero recorded
-// width) take their window geometry from the flags instead.
+// frame is appended to a binary trace alongside the printed report. With
+// -archive the trace is a single file, written to a temporary and renamed
+// into place only after a clean close, so a crashed capture never leaves
+// a half-written file under the requested name. With -store the trace is
+// a rotating multi-segment store directory instead: segments rotate at
+// window boundaries when they exceed -rotate-windows, -rotate-bytes or
+// -rotate-span, each closed segment is finalized atomically as the
+// capture runs, and -retain-segments/-retain-bytes prune the oldest
+// finalized segments so unbounded captures hold bounded history. replay
+// reopens either layout — no flow file, no text parsing, no re-sorting —
+// and pushes the archived windows back through a fresh monitor session on
+// the recorded window grid, reproducing the recorded session's reports
+// bit for bit (run with the same -bucket, -localize and detector settings
+// used to record). Archives written by an unwindowed capture (zero
+// recorded width) take their window geometry from the flags instead.
 //
-// replay -recover salvages a torn or unclosed archive (a crashed capture
-// recovered from its temporary file, a truncated copy): the intact prefix
-// of whole windows replays exactly as it would from the clean archive,
-// and a recovery note describing the salvaged/discarded byte counts goes
-// to stderr so stdout stays comparable line for line.
+// replay -recover salvages a torn or unclosed capture (a crashed capture
+// recovered from its temporary file or directory, a truncated copy): the
+// intact whole windows replay exactly as they would from the clean trace,
+// and a recovery note describing what was reconciled goes to stderr so
+// stdout stays comparable line for line.
+//
+// scan queries a recorded trace without re-analyzing it: -from/-to bound
+// event time, -pair an endpoint pair, -switch a traversed switch, and the
+// store manifest's per-segment summaries prune segment files the query
+// cannot match before any is opened. By default matching flows print one
+// line each; with -replay the selected windows are instead pushed through
+// a fresh monitor session built from the flags — re-analysis of a slice
+// of history under a new configuration.
 //
 // The monitor, record and replay subcommands are thin adapters over
 // internal/session, the same session lifecycle the llmprismd fleet daemon
@@ -72,10 +87,12 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/core/timeline"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/session"
@@ -111,11 +128,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		lateness    = fs.Duration("lateness", 5*time.Second, "allowed out-of-orderness (monitor)")
 		batch       = fs.Duration("batch", 10*time.Second, "replay batch size (monitor)")
 		depth       = fs.Int("depth", 2, "pipelined windows in flight (monitor)")
-		archivePath = fs.String("archive", "", "binary trace archive (record output, replay input)")
+		archivePath = fs.String("archive", "", "binary trace: single file or store directory (record output, replay/scan input)")
+		storeDir    = fs.String("store", "", "rotating multi-segment store directory (record output)")
+		rotWindows  = fs.Int("rotate-windows", 0, "rotate the store segment after this many windows (record -store; 0 = never)")
+		rotBytes    = fs.Int64("rotate-bytes", 0, "rotate the store segment past this many bytes (record -store; 0 = never)")
+		rotSpan     = fs.Duration("rotate-span", 0, "rotate the store segment past this event-time span (record -store; 0 = never)")
+		keepSegs    = fs.Int("retain-segments", 0, "keep at most this many finalized segments (record -store; 0 = all)")
+		keepBytes   = fs.Int64("retain-bytes", 0, "prune oldest finalized segments past this total size (record -store; 0 = unbounded)")
 		ckptPath    = fs.String("checkpoint", "", "session checkpoint file, saved after every window (monitor, record)")
 		localized   = fs.Bool("localize", false, "rank root-cause suspect components (diagnose, monitor, record, replay)")
 		suppress    = fs.Bool("suppress-chronic", false, "suppress persistent anomalies from the alert surface (monitor, record, replay)")
-		salvage     = fs.Bool("recover", false, "salvage the intact prefix of a torn/unclosed archive (replay)")
+		salvage     = fs.Bool("recover", false, "salvage the intact windows of a torn/unclosed capture (replay, scan)")
+		fromFlag    = fs.String("from", "", "only windows/flows starting at or after this RFC3339 time (scan)")
+		toFlag      = fs.String("to", "", "only windows/flows starting before this RFC3339 time (scan)")
+		pairFlag    = fs.String("pair", "", `only flows between this endpoint pair, "10.a.b.c,10.d.e.f" (scan)`)
+		switchFlag  = fs.String("switch", "", `only flows traversing this switch, "sw-12" or "12" (scan)`)
+		scanReplay  = fs.Bool("replay", false, "re-analyze the selected windows through a monitor session instead of listing flows (scan)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -146,6 +174,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Topo = topo
 		return runReplay(ctx, stdout, stderr, *archivePath, cfg, *salvage)
 	}
+	if cmd == "scan" {
+		q, err := parseQuery(*fromFlag, *toFlag, *pairFlag, *switchFlag)
+		if err != nil {
+			return err
+		}
+		if !*scanReplay {
+			return runScan(stdout, stderr, *archivePath, q, *salvage)
+		}
+		// Re-analysis mode builds a full monitor session, so it needs the
+		// topology like replay does.
+		topo, err := loadTopo(*topoPath)
+		if err != nil {
+			return err
+		}
+		cfg.Topo = topo
+		return runScanReplay(ctx, stdout, stderr, *archivePath, cfg, q, *salvage)
+	}
 
 	records, topo, err := load(*flowsPath, *topoPath)
 	if err != nil {
@@ -157,10 +202,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.CheckpointPath = *ckptPath
 		return runMonitor(ctx, stdout, records, cfg, *batch)
 	case "record":
-		if *archivePath == "" {
-			return fmt.Errorf("record requires -archive")
+		if *archivePath == "" && *storeDir == "" {
+			return fmt.Errorf("record requires -archive or -store")
 		}
 		cfg.ArchivePath = *archivePath
+		cfg.StoreDir = *storeDir
+		cfg.Rotate = archive.StorePolicy{
+			RotateWindows:  *rotWindows,
+			RotateBytes:    *rotBytes,
+			RotateSpan:     *rotSpan,
+			RetainSegments: *keepSegs,
+			RetainBytes:    *keepBytes,
+		}
 		cfg.CheckpointPath = *ckptPath
 		return runMonitor(ctx, stdout, records, cfg, *batch)
 	case "diagnose":
@@ -186,7 +239,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, viz.AlertList(report.SwitchAlerts))
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want analyze, diagnose, timeline, switches, monitor, record or replay)", cmd)
+		return fmt.Errorf("unknown command %q (want analyze, diagnose, timeline, switches, monitor, record, replay or scan)", cmd)
 	}
 }
 
@@ -268,6 +321,9 @@ func runMonitor(ctx context.Context, stdout io.Writer, records []flow.Record, cf
 	if cfg.ArchivePath != "" {
 		fmt.Fprintf(stdout, "archived %d windows to %s\n", s.Windows(), cfg.ArchivePath)
 	}
+	if cfg.StoreDir != "" {
+		fmt.Fprintf(stdout, "archived %d windows to store %s\n", s.Windows(), cfg.StoreDir)
+	}
 	return nil
 }
 
@@ -292,9 +348,109 @@ func runReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string
 		fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", rep.Recovery)
 	}
 	fmt.Fprintf(stdout, "replaying %d archived windows: window %v, hop %v, lateness %v, pipeline depth %d\n\n",
-		rep.NumSegments(), rep.Window(), rep.Hop(), rep.Lateness(), cfg.Depth)
+		rep.NumWindows(), rep.Window(), rep.Hop(), rep.Lateness(), cfg.Depth)
 
 	if err := rep.Run(func(reports []*llmprism.Report) {
+		session.PrintReports(stdout, reports)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nlate drops (record-window assignments): %d\n", rep.Late())
+	return nil
+}
+
+// parseQuery assembles the scan subcommand's store query from its flags.
+func parseQuery(from, to, pair, sw string) (archive.Query, error) {
+	var q archive.Query
+	var err error
+	if from != "" {
+		if q.From, err = time.Parse(time.RFC3339, from); err != nil {
+			return q, fmt.Errorf("scan: -from: %w", err)
+		}
+	}
+	if to != "" {
+		if q.To, err = time.Parse(time.RFC3339, to); err != nil {
+			return q, fmt.Errorf("scan: -to: %w", err)
+		}
+	}
+	if pair != "" {
+		a, b, ok := strings.Cut(pair, ",")
+		if !ok {
+			return q, fmt.Errorf(`scan: -pair %q: want "addr,addr"`, pair)
+		}
+		pa, err := flow.ParseAddr(strings.TrimSpace(a))
+		if err != nil {
+			return q, fmt.Errorf("scan: -pair: %w", err)
+		}
+		pb, err := flow.ParseAddr(strings.TrimSpace(b))
+		if err != nil {
+			return q, fmt.Errorf("scan: -pair: %w", err)
+		}
+		p := flow.MakePair(pa, pb)
+		q.Pair = &p
+	}
+	if sw != "" {
+		id, err := strconv.ParseInt(strings.TrimPrefix(sw, "sw-"), 10, 64)
+		if err != nil {
+			return q, fmt.Errorf(`scan: -switch %q: want "sw-N" or "N"`, sw)
+		}
+		s := flow.SwitchID(id)
+		q.Switch = &s
+	}
+	return q, nil
+}
+
+// runScan lists every flow in the recorded trace matching the query, one
+// line per flow in global event-time order, then a summary. Segment files
+// the store manifest can prove irrelevant are never opened.
+func runScan(stdout, stderr io.Writer, archivePath string, q archive.Query, salvage bool) error {
+	if archivePath == "" {
+		return fmt.Errorf("scan requires -archive")
+	}
+	var rows int
+	var lastWindow time.Time
+	windows := 0
+	recovery, err := session.Scan(archivePath, salvage, q, func(start, _ time.Time, f *flow.Frame, i int) error {
+		if windows == 0 || !start.Equal(lastWindow) {
+			windows++
+			lastWindow = start
+		}
+		rows++
+		fmt.Fprintf(stdout, "%s %s -> %s  %d bytes  %v  via %v\n",
+			f.Start(i).UTC().Format(time.RFC3339Nano), f.Src(i), f.Dst(i),
+			f.Bytes(i), f.Duration(i), f.Switches(i))
+		return nil
+	})
+	if recovery != nil {
+		fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", recovery)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "matched %d flows in %d windows\n", rows, windows)
+	return nil
+}
+
+// runScanReplay re-analyzes the query's slice of the trace: the selected
+// segments' overlapping windows replay through a fresh monitor session
+// built from the flags — history under a new configuration.
+func runScanReplay(ctx context.Context, stdout, stderr io.Writer, archivePath string, cfg session.Config, q archive.Query, salvage bool) error {
+	if archivePath == "" {
+		return fmt.Errorf("scan requires -archive")
+	}
+	rep, err := session.OpenReplay(ctx, cfg, archivePath, salvage)
+	if err != nil {
+		return err
+	}
+	defer rep.Release()
+	defer rep.Abort()
+	if rep.Recovery != nil {
+		fmt.Fprintf(stderr, "llmprism: recovered archive: %s\n", rep.Recovery)
+	}
+	sel := rep.Store().Select(q)
+	fmt.Fprintf(stdout, "replaying %d of %d segments matching query: window %v, hop %v, lateness %v\n\n",
+		len(sel), rep.NumSegments(), rep.Window(), rep.Hop(), rep.Lateness())
+	if err := rep.RunSelected(q, func(reports []*llmprism.Report) {
 		session.PrintReports(stdout, reports)
 	}); err != nil {
 		return err

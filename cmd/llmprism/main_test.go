@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"slices"
@@ -402,5 +403,149 @@ func TestRunRecordAtomicAndReplayRecover(t *testing.T) {
 	if len(got) > len(ref) || !slices.Equal(got, ref[:len(got)]) {
 		t.Errorf("mid-cut recovery is not a prefix of the clean replay:\nclean:\n%s\nrecovered:\n%s",
 			strings.Join(ref, "\n"), strings.Join(got, "\n"))
+	}
+}
+
+// TestRunRecordStoreReplayScan is the CLI acceptance gate for the
+// multi-segment store: record -store rotates per window, replay accepts
+// the store directory and reproduces the recorded reports line for line,
+// and scan both lists matching flows and re-analyzes a selected slice.
+func TestRunRecordStoreReplayScan(t *testing.T) {
+	flows, topo := writeTrace(t)
+	store := filepath.Join(filepath.Dir(flows), "trace.llps")
+
+	var recOut strings.Builder
+	err := run(context.Background(), []string{
+		"record", "-flows", flows, "-topo", topo, "-store", store,
+		"-rotate-windows", "1",
+		"-window", "4s", "-lateness", "1s", "-batch", "2s", "-depth", "2", "-bucket", "2s",
+		"-localize",
+	}, &recOut, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(recOut.String(), "archived ") || !strings.Contains(recOut.String(), "to store ") {
+		t.Errorf("record output missing store summary:\n%s", recOut.String())
+	}
+	segs, err := filepath.Glob(filepath.Join(store, "seg-*.llpa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("store rotated into %d segments, want ≥ 2", len(segs))
+	}
+
+	var repOut strings.Builder
+	err = run(context.Background(), []string{
+		"replay", "-archive", store, "-topo", topo, "-depth", "3", "-bucket", "2s",
+		"-localize",
+	}, &repOut, &repOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rep := windowLines(recOut.String()), windowLines(repOut.String())
+	if len(rec) == 0 {
+		t.Fatalf("record emitted no window lines:\n%s", recOut.String())
+	}
+	if !slices.Equal(rec, rep) {
+		t.Errorf("store replay diverges from recorded session:\nrecord:\n%s\nreplay:\n%s",
+			strings.Join(rec, "\n"), strings.Join(rep, "\n"))
+	}
+
+	// Unbounded scan lists every archived flow.
+	var scanOut strings.Builder
+	if err := run(context.Background(), []string{
+		"scan", "-archive", store,
+	}, &scanOut, &scanOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(scanOut.String(), "\n"), "\n")
+	summary := lines[len(lines)-1]
+	if !strings.HasPrefix(summary, "matched ") || strings.HasPrefix(summary, "matched 0 flows") {
+		t.Fatalf("scan summary = %q, want non-zero match count", summary)
+	}
+
+	// Pair-bounded scan: the first listed flow's endpoints must match
+	// themselves; an address pair outside the topology matches nothing.
+	fields := strings.Fields(lines[0])
+	if len(fields) < 4 || fields[2] != "->" {
+		t.Fatalf("unexpected scan line %q", lines[0])
+	}
+	scanOut.Reset()
+	if err := run(context.Background(), []string{
+		"scan", "-archive", store, "-pair", fields[1] + "," + fields[3],
+	}, &scanOut, &scanOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(scanOut.String(), "matched 0 flows") {
+		t.Errorf("pair scan of a recorded pair matched nothing:\n%s", scanOut.String())
+	}
+	scanOut.Reset()
+	if err := run(context.Background(), []string{
+		"scan", "-archive", store, "-pair", "10.254.254.1,10.254.254.2",
+	}, &scanOut, &scanOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scanOut.String(), "matched 0 flows in 0 windows") {
+		t.Errorf("pair scan of an absent pair matched flows:\n%s", scanOut.String())
+	}
+
+	// scan -replay with no bounds re-analyzes the whole store: its window
+	// lines must equal the recorded session's.
+	var qrepOut strings.Builder
+	if err := run(context.Background(), []string{
+		"scan", "-replay", "-archive", store, "-topo", topo, "-depth", "2", "-bucket", "2s",
+		"-localize",
+	}, &qrepOut, &qrepOut); err != nil {
+		t.Fatal(err)
+	}
+	if got := windowLines(qrepOut.String()); !slices.Equal(got, rec) {
+		t.Errorf("scan -replay over the whole store diverges from recorded session:\nrecord:\n%s\nscan:\n%s",
+			strings.Join(rec, "\n"), strings.Join(got, "\n"))
+	}
+
+	// Time-bounded scan -replay prunes segments and analyzes a strict
+	// subset of windows (the simulated platform starts 2026-01-01T12:00Z).
+	var sliceOut strings.Builder
+	if err := run(context.Background(), []string{
+		"scan", "-replay", "-archive", store, "-topo", topo, "-bucket", "2s",
+		"-to", "2026-01-01T12:00:06Z",
+	}, &sliceOut, &sliceOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sliceOut.String(), fmt.Sprintf("2 of %d segments", len(segs))) {
+		t.Errorf("time-bounded scan -replay did not prune to 2 segments:\n%s", sliceOut.String())
+	}
+	var sliceWindows int
+	for _, l := range windowLines(sliceOut.String()) {
+		if strings.HasPrefix(l, "window ") {
+			sliceWindows++
+		}
+	}
+	if sliceWindows == 0 || sliceWindows >= len(segs) {
+		t.Errorf("time-bounded scan -replay analyzed %d windows, want a non-empty strict subset of %d", sliceWindows, len(segs))
+	}
+}
+
+func TestRunScanErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"scan"}, &out, &out); err == nil ||
+		!strings.Contains(err.Error(), "-archive") {
+		t.Errorf("scan without -archive: err = %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"scan", "-archive", "x", "-from", "yesterday",
+	}, &out, &out); err == nil || !strings.Contains(err.Error(), "-from") {
+		t.Errorf("scan with bad -from: err = %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"scan", "-archive", "x", "-pair", "nonsense",
+	}, &out, &out); err == nil || !strings.Contains(err.Error(), "-pair") {
+		t.Errorf("scan with bad -pair: err = %v", err)
+	}
+	if err := run(context.Background(), []string{
+		"scan", "-archive", "x", "-switch", "leaf!",
+	}, &out, &out); err == nil || !strings.Contains(err.Error(), "-switch") {
+		t.Errorf("scan with bad -switch: err = %v", err)
 	}
 }

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	llmprismd -topo topo.json [-listen 127.0.0.1:9900] [-query 127.0.0.1:9901]
-//	          [-dir /var/lib/llmprism] [-max-sessions 64] [-pending 4]
+//	          [-dir /var/lib/llmprism] [-resume] [-max-sessions 64] [-pending 4]
+//	          [-rotate-windows N] [-rotate-bytes N] [-rotate-span 1h]
+//	          [-retain-segments N] [-retain-bytes N]
 //	          [-window 1m] [-hop 30s] [-lateness 5s] [-depth 2]
 //	          [-bucket 1m] [-workers 8] [-localize] [-suppress-chronic]
-//	          [-drain 30s]
+//	          [-drain 30s] [-ready-file path]
 //
 // Collectors connect to the ingest listener and speak the LPW1 stream
 // framing (see internal/session/wire.go): a hello naming the collector's
@@ -22,22 +24,37 @@
 // collector that outruns analysis is slowed by TCP flow control instead of
 // growing the heap.
 //
-// With -dir set, every cluster's session records its windows to
-// <dir>/<cluster>.llpa and checkpoints continuity state to
-// <dir>/<cluster>.llpk. Archives follow the CLI's crash-safety contract:
-// written as .tmp, renamed into place only on a clean shutdown, so a
-// crashed daemon leaves only salvageable temporaries (llmprism replay
-// -recover). The session manager rejects any configuration where two
-// clusters would share an output path.
+// With -dir set, every cluster's session records its windows to the
+// rotating multi-segment store <dir>/<cluster>.llps and checkpoints
+// continuity state to <dir>/<cluster>.llpk. The -rotate-* flags bound
+// when a store cuts a new segment (windows per segment, segment bytes,
+// event-time span) and the -retain-* flags bound how much finalized
+// history each store keeps (oldest segments pruned first). Stores follow
+// the archive layer's crash-safety contract: closed segments are
+// finalized atomically as the capture runs, so a killed daemon loses at
+// most each cluster's open-segment temporary — and even that stays
+// salvageable (llmprism replay -recover). The session manager rejects any
+// configuration where two clusters would share an output path.
 //
-// The query listener serves plain text over HTTP:
+// With -resume (requires -dir), the daemon restarts every cluster found
+// in -dir at boot: each session restores its .llpk checkpoint, reconciles
+// its store to the checkpoint's resume point, and continues appending new
+// segments — reports after the restart are bit-identical to a run that
+// was never interrupted, provided collectors replay their stream from the
+// start (records before the resume point are dropped as late). A cluster
+// whose previous start never released a window simply starts fresh.
+//
+// The query listener serves plain text over HTTP (all responses
+// Content-Type: text/plain; charset=utf-8):
 //
 //	GET /v1/clusters           cluster list with window/late-drop counters
 //	GET /v1/report?cluster=X   every window report the cluster has released,
 //	                           line-identical to llmprism replay of the
-//	                           cluster's archive
+//	                           cluster's store
 //	GET /v1/latest?cluster=X   the latest window's report only (its alerts,
 //	                           incidents and fused suspect ranking)
+//	GET /v1/segments?cluster=X the cluster's store manifest: per-segment
+//	                           window ranges, event-time bounds and sizes
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains open connections
 // (force-closing them after -drain), then closes every session — flushing
@@ -59,12 +76,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/session"
 	"github.com/llmprism/llmprism/internal/topology"
@@ -84,9 +103,15 @@ func run(args []string, stderr io.Writer) error {
 		listenAddr  = fs.String("listen", "127.0.0.1:9900", "collector ingest listener address")
 		queryAddr   = fs.String("query", "127.0.0.1:9901", "query (HTTP) listener address")
 		topoPath    = fs.String("topo", "topo.json", "topology spec (JSON)")
-		dir         = fs.String("dir", "", "per-cluster archive/checkpoint directory (empty = no persistence)")
+		dir         = fs.String("dir", "", "per-cluster store/checkpoint directory (empty = no persistence)")
+		resume      = fs.Bool("resume", false, "restart every cluster found in -dir from its checkpoint at boot")
 		maxSessions = fs.Int("max-sessions", 64, "bound on concurrently open cluster sessions")
 		pending     = fs.Int("pending", 4, "per-connection decoded frames buffered ahead of analysis")
+		rotWindows  = fs.Int("rotate-windows", 0, "rotate a cluster's store segment after this many windows (0 = no bound)")
+		rotBytes    = fs.Int64("rotate-bytes", 0, "rotate a cluster's store segment once it reaches this many bytes (0 = no bound)")
+		rotSpan     = fs.Duration("rotate-span", 0, "rotate a cluster's store segment once it spans this much event time (0 = no bound)")
+		keepSegs    = fs.Int("retain-segments", 0, "keep at most this many finalized segments per cluster, pruning the oldest (0 = keep all)")
+		keepBytes   = fs.Int64("retain-bytes", 0, "keep each cluster's finalized segments within this byte total, pruning the oldest (0 = unbounded)")
 		window      = fs.Duration("window", time.Minute, "analysis window width")
 		hop         = fs.Duration("hop", 0, "window stride, <= window; 0 = tumbling")
 		lateness    = fs.Duration("lateness", 5*time.Second, "allowed out-of-orderness")
@@ -96,12 +121,28 @@ func run(args []string, stderr io.Writer) error {
 		localized   = fs.Bool("localize", false, "rank root-cause suspect components")
 		suppress    = fs.Bool("suppress-chronic", false, "suppress persistent anomalies from the alert surface")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
+		readyFile   = fs.String("ready-file", "", "write the bound ingest and query addresses here once serving (atomic rename)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	if *maxSessions < 1 {
+		return fmt.Errorf("-max-sessions must be positive (got %d)", *maxSessions)
+	}
+	if *pending < 1 {
+		return fmt.Errorf("-pending must be positive (got %d)", *pending)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("-drain must be positive (got %v)", *drain)
+	}
+	if *rotWindows < 0 || *rotBytes < 0 || *rotSpan < 0 || *keepSegs < 0 || *keepBytes < 0 {
+		return fmt.Errorf("rotation and retention bounds must not be negative")
+	}
+	if *resume && *dir == "" {
+		return fmt.Errorf("-resume requires -dir")
 	}
 
 	tf, err := os.Open(*topoPath)
@@ -126,7 +167,15 @@ func run(args []string, stderr io.Writer) error {
 			Lateness: *lateness,
 			Depth:    *depth,
 		},
-		dir:         *dir,
+		dir: *dir,
+		rotate: archive.StorePolicy{
+			RotateWindows:  *rotWindows,
+			RotateBytes:    *rotBytes,
+			RotateSpan:     *rotSpan,
+			RetainSegments: *keepSegs,
+			RetainBytes:    *keepBytes,
+		},
+		resume:      *resume,
 		maxSessions: *maxSessions,
 		pending:     *pending,
 		logf: func(format string, args ...any) {
@@ -148,8 +197,22 @@ func run(args []string, stderr io.Writer) error {
 		queryLn.Close()
 		return err
 	}
+	resumed, err := d.ResumeClusters()
+	for _, c := range resumed {
+		cfg.logf("llmprismd: resumed cluster %s from checkpoint", c)
+	}
+	if err != nil {
+		ingestLn.Close()
+		queryLn.Close()
+		return errors.Join(err, d.mgr.Close())
+	}
 	d.Serve()
 	cfg.logf("llmprismd: ingest on %s, query on http://%s", ingestLn.Addr(), queryLn.Addr())
+	if *readyFile != "" {
+		if err := writeReadyFile(*readyFile, ingestLn.Addr().String(), queryLn.Addr().String()); err != nil {
+			return err
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -174,6 +237,12 @@ type daemonConfig struct {
 	base session.Config
 	// dir is the per-cluster output directory ("" = no persistence).
 	dir string
+	// rotate bounds every cluster store's segment rotation and retention.
+	rotate archive.StorePolicy
+	// resume restarts every cluster found in dir from its checkpoint at
+	// boot, and makes lazily created sessions reconcile whatever state a
+	// previous run left for their cluster.
+	resume bool
 	// maxSessions bounds concurrently open cluster sessions (0 = unbounded).
 	maxSessions int
 	// pending bounds decoded frames buffered per connection between the
@@ -239,20 +308,77 @@ func newDaemon(ctx context.Context, cfg daemonConfig, ingestLn, queryLn net.List
 	mux.HandleFunc("/v1/clusters", d.handleClusters)
 	mux.HandleFunc("/v1/report", d.handleReport)
 	mux.HandleFunc("/v1/latest", d.handleLatest)
+	mux.HandleFunc("/v1/segments", d.handleSegments)
 	d.query = &http.Server{Handler: mux}
 	return d, nil
 }
 
 // clusterConfig derives one cluster's session config: the shared analysis
-// base plus that cluster's archive and checkpoint paths. Cluster IDs have
+// base plus that cluster's store and checkpoint paths. Cluster IDs have
 // already passed ValidateClusterID, so they are safe file-name stems.
 func (d *daemon) clusterConfig(cluster string) (session.Config, error) {
 	cfg := d.cfg.base
 	if d.cfg.dir != "" {
-		cfg.ArchivePath = filepath.Join(d.cfg.dir, cluster+".llpa")
+		cfg.StoreDir = filepath.Join(d.cfg.dir, cluster+".llps")
 		cfg.CheckpointPath = filepath.Join(d.cfg.dir, cluster+".llpk")
+		cfg.Rotate = d.cfg.rotate
+		cfg.Resume = d.cfg.resume
 	}
 	return cfg, nil
+}
+
+// ResumeClusters eagerly reopens every cluster a previous run left in the
+// persistence directory — any <cluster>.llpk checkpoint or <cluster>.llps
+// store — so each session restores its checkpoint and reconciles its
+// store at boot, before collectors reconnect. No-op unless the daemon was
+// configured with resume and a directory. Returns the resumed cluster
+// IDs, sorted; on error, the clusters resumed before the failure are
+// still returned.
+func (d *daemon) ResumeClusters() ([]string, error) {
+	if !d.cfg.resume || d.cfg.dir == "" {
+		return nil, nil
+	}
+	ents, err := os.ReadDir(d.cfg.dir)
+	if err != nil {
+		return nil, err
+	}
+	clusters := make(map[string]bool)
+	for _, ent := range ents {
+		name := ent.Name()
+		switch {
+		case !ent.IsDir() && strings.HasSuffix(name, ".llpk"):
+			clusters[strings.TrimSuffix(name, ".llpk")] = true
+		case ent.IsDir() && strings.HasSuffix(name, ".llps"):
+			clusters[strings.TrimSuffix(name, ".llps")] = true
+		}
+	}
+	resumed := make([]string, 0, len(clusters))
+	for cluster := range clusters {
+		if session.ValidateClusterID(cluster) != nil {
+			continue
+		}
+		resumed = append(resumed, cluster)
+	}
+	sort.Strings(resumed)
+	for i, cluster := range resumed {
+		if _, err := d.mgr.Session(d.ctx, cluster); err != nil {
+			return resumed[:i], fmt.Errorf("resume cluster %q: %w", cluster, err)
+		}
+	}
+	return resumed, nil
+}
+
+// writeReadyFile publishes the bound listener addresses for supervisors
+// (and the kill-and-resume test harness): two lines, "ingest <addr>" and
+// "query <addr>", written to a temporary and renamed so a reader never
+// sees a partial file.
+func writeReadyFile(path, ingest, query string) error {
+	body := fmt.Sprintf("ingest %s\nquery %s\n", ingest, query)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // onReports accumulates each cluster's released window reports as the same
@@ -413,6 +539,39 @@ func (d *daemon) handleLatest(w http.ResponseWriter, r *http.Request) {
 	d.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	session.PrintReports(w, []*llmprism.Report{latest})
+}
+
+// handleSegments serves a cluster's store manifest: one line per
+// finalized segment with its window range, event-time bounds and size.
+// It reads the manifest file directly — the store writer rewrites it
+// atomically, so a concurrent read always sees a complete manifest.
+func (d *daemon) handleSegments(w http.ResponseWriter, r *http.Request) {
+	cluster := r.URL.Query().Get("cluster")
+	if cluster == "" {
+		http.Error(w, "missing cluster parameter", http.StatusBadRequest)
+		return
+	}
+	if err := session.ValidateClusterID(cluster); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if d.cfg.dir == "" {
+		http.Error(w, "no persistence directory configured", http.StatusNotFound)
+		return
+	}
+	meta, _, segs, err := archive.ReadStoreManifest(filepath.Join(d.cfg.dir, cluster+".llps"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster %q has no readable store: %v", cluster, err), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "store %s: %d segments, window %v, hop %v, lateness %v\n",
+		cluster, len(segs), meta.Width, meta.Hop, meta.Lateness)
+	for _, s := range segs {
+		fmt.Fprintf(w, "segment %d: %d windows, seq %d..%d, [%s..%s), %d bytes\n",
+			s.Index, s.Windows, s.FirstSeq, s.LastSeq,
+			s.MinStart.UTC().Format(time.RFC3339Nano), s.MaxEnd.UTC().Format(time.RFC3339Nano), s.Bytes)
+	}
 }
 
 // Clusters returns the open clusters, sorted.

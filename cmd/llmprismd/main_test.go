@@ -2,17 +2,21 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/session"
 	"github.com/llmprism/llmprism/internal/topology"
@@ -103,6 +107,7 @@ func startTestDaemon(t testing.TB, topo *topology.Topology, dir string) (*daemon
 			Depth:    2,
 		},
 		dir:         dir,
+		rotate:      archive.StorePolicy{RotateWindows: 2},
 		maxSessions: 8,
 		pending:     2,
 		logf:        t.Logf,
@@ -146,6 +151,10 @@ func httpGet(t testing.TB, url string) (int, string) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	// Every query response — success or error — is plain text.
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("GET %s: Content-Type = %q, want %q", url, ct, "text/plain; charset=utf-8")
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
@@ -220,17 +229,22 @@ func TestDaemonTwoClusterIngestMatchesOfflineReplay(t *testing.T) {
 			t.Errorf("cluster %s: latest window text is not the report's tail", cluster)
 		}
 
-		// The daemon's own finalized archive replays to the same text.
-		archivePath := filepath.Join(dir, cluster+".llpa")
-		if _, err := os.Stat(archivePath); err != nil {
-			t.Fatalf("cluster %s archive not finalized: %v", cluster, err)
+		// The daemon's own finalized store replays to the same text. A
+		// strict open proves shutdown finalized every segment and the
+		// manifest — no temporaries left behind.
+		storeDir := filepath.Join(dir, cluster+".llps")
+		if _, err := os.Stat(filepath.Join(storeDir, archive.StoreManifestName)); err != nil {
+			t.Fatalf("cluster %s store not finalized: %v", cluster, err)
 		}
-		if _, err := os.Stat(archivePath + ".tmp"); !os.IsNotExist(err) {
-			t.Fatalf("cluster %s archive temporary left behind (err=%v)", cluster, err)
+		if tmps, _ := filepath.Glob(filepath.Join(storeDir, "*.tmp")); len(tmps) != 0 {
+			t.Fatalf("cluster %s store temporaries left behind: %v", cluster, tmps)
 		}
-		rep, err := session.OpenReplay(context.Background(), d.cfg.base, archivePath, false)
+		rep, err := session.OpenReplay(context.Background(), d.cfg.base, storeDir, false)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if rep.NumSegments() < 2 {
+			t.Errorf("cluster %s: store did not rotate: %d segments", cluster, rep.NumSegments())
 		}
 		var replayed strings.Builder
 		if err := rep.Run(func(reports []*llmprism.Report) {
@@ -240,7 +254,16 @@ func TestDaemonTwoClusterIngestMatchesOfflineReplay(t *testing.T) {
 		}
 		rep.Release()
 		if replayed.String() != wantText {
-			t.Errorf("cluster %s: replay of daemon archive differs from offline reference", cluster)
+			t.Errorf("cluster %s: replay of daemon store differs from offline reference", cluster)
+		}
+
+		// The segments endpoint serves the store manifest.
+		code, segs := httpGet(t, queryURL+"/v1/segments?cluster="+cluster)
+		if code != http.StatusOK {
+			t.Fatalf("segments %s: status %d", cluster, code)
+		}
+		if !strings.Contains(segs, "store "+cluster+": ") || !strings.Contains(segs, "segment 1: ") {
+			t.Errorf("segments %s: unexpected body:\n%s", cluster, segs)
 		}
 	}
 
@@ -312,5 +335,201 @@ func TestDaemonSurvivesGarbageConnections(t *testing.T) {
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDaemonFlagValidation pins the startup domain checks: a bad flag
+// must fail fast with a precise error, before any listener binds or the
+// topology loads.
+func TestDaemonFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-pending", "0"}, "-pending must be positive (got 0)"},
+		{[]string{"-pending", "-3"}, "-pending must be positive (got -3)"},
+		{[]string{"-max-sessions", "0"}, "-max-sessions must be positive (got 0)"},
+		{[]string{"-max-sessions", "-1"}, "-max-sessions must be positive (got -1)"},
+		{[]string{"-drain", "0s"}, "-drain must be positive (got 0s)"},
+		{[]string{"-drain", "-5s"}, "-drain must be positive (got -5s)"},
+		{[]string{"-rotate-windows", "-1"}, "must not be negative"},
+		{[]string{"-retain-bytes", "-1"}, "must not be negative"},
+		{[]string{"-resume"}, "-resume requires -dir"},
+	} {
+		err := run(tc.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestMain re-execs the test binary as the real daemon when the child
+// marker is set, so the kill-and-resume test can SIGKILL an actual
+// llmprismd process mid-ingest.
+func TestMain(m *testing.M) {
+	if os.Getenv("LLMPRISMD_TEST_CHILD") == "1" {
+		if err := run(os.Args[1:], os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "llmprismd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemonProcess launches the daemon as a separate OS process and
+// waits for its ready file, returning the process and its bound ingest
+// address and query base URL.
+func startDaemonProcess(t *testing.T, args []string, readyPath string) (*exec.Cmd, string, string) {
+	t.Helper()
+	os.Remove(readyPath)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LLMPRISMD_TEST_CHILD=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	// Generous: under -race with other package test binaries sharing the
+	// machine, the child can take a while to bind and publish.
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		b, err := os.ReadFile(readyPath)
+		if err == nil {
+			f := strings.Fields(string(b))
+			if len(f) == 4 && f[0] == "ingest" && f[2] == "query" {
+				return cmd, f[1], "http://" + f[3]
+			}
+			t.Fatalf("malformed ready file: %q", b)
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("daemon child never became ready")
+	return nil, "", ""
+}
+
+// pollClusterWindows polls the daemon's cluster listing until the cluster
+// reports at least want released windows, then returns the count.
+func pollClusterWindows(t *testing.T, queryURL, cluster string, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(queryURL + "/v1/clusters")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(body), "\n") {
+				var n int
+				var late uint64
+				if _, err := fmt.Sscanf(line, "cluster "+cluster+": %d windows, %d late drops", &n, &late); err == nil && n >= want {
+					return n
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("cluster %s never reached %d released windows", cluster, want)
+	return 0
+}
+
+// TestDaemonKillAndResume is the restart-resume equivalence gate (and the
+// CI kill-and-resume smoke): a daemon process is SIGKILLed mid-ingest —
+// no drain, no finalize — restarted with -resume, fed the collector's
+// stream from the start, and shut down cleanly. The final store must open
+// strictly and replay bit-identically to a run that was never
+// interrupted.
+func TestDaemonKillAndResume(t *testing.T) {
+	records, topo := daemonTrace(t, 7)
+	frames := chunkFrames(records, 150)
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "topo.json")
+	tf, err := os.Create(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.WriteJSON(tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stateDir := filepath.Join(dir, "state")
+	if err := os.Mkdir(stateDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	readyPath := filepath.Join(dir, "ready")
+	args := []string{
+		"-topo", topoPath, "-dir", stateDir, "-resume",
+		"-listen", "127.0.0.1:0", "-query", "127.0.0.1:0",
+		"-window", "2s", "-lateness", "1s", "-workers", "2",
+		"-localize", "-suppress-chronic", "-rotate-windows", "2",
+		"-ready-file", readyPath,
+	}
+	base := session.Config{
+		Topo:     topo,
+		Bucket:   time.Minute,
+		Workers:  2,
+		Localize: true,
+		Suppress: true,
+		Window:   2 * time.Second,
+		Lateness: time.Second,
+		Depth:    2,
+	}
+	want := offlineText(t, base, frames)
+	if want == "" {
+		t.Fatal("offline reference released no windows")
+	}
+
+	// First life: stream the whole trace, and SIGKILL the daemon as soon
+	// as a few windows have been analyzed and checkpointed — mid-ingest,
+	// with open windows, a live segment temporary and no shutdown.
+	cmd, ingestAddr, queryURL := startDaemonProcess(t, args, readyPath)
+	go streamFrames(ingestAddr, "kr", frames) // dies with the process; error irrelevant
+	pollClusterWindows(t, queryURL, "kr", 2)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The killed capture must be visibly unfinished: the strict opener
+	// refuses it until a resumed run (or salvage) reconciles it.
+	if _, err := session.OpenReplay(context.Background(), base, filepath.Join(stateDir, "kr.llps"), false); err == nil {
+		t.Fatal("strict open of a SIGKILLed store succeeded")
+	}
+
+	// Second life: -resume restores the checkpoint, reconciles the store,
+	// and the collector replays its stream from the start (pre-resume
+	// records are dropped as late). SIGTERM then drains and finalizes.
+	cmd, ingestAddr, queryURL = startDaemonProcess(t, args, readyPath)
+	if err := streamFrames(ingestAddr, "kr", frames); err != nil {
+		t.Fatalf("resumed stream: %v", err)
+	}
+	if code, _ := httpGet(t, queryURL+"/v1/segments?cluster=kr"); code != http.StatusOK {
+		t.Errorf("segments after resume: status %d", code)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("resumed daemon exited uncleanly: %v", err)
+	}
+
+	rep, err := session.OpenReplay(context.Background(), base, filepath.Join(stateDir, "kr.llps"), false)
+	if err != nil {
+		t.Fatalf("strict open of resumed store: %v", err)
+	}
+	var replayed strings.Builder
+	if err := rep.Run(func(reports []*llmprism.Report) {
+		session.PrintReports(&replayed, reports)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != want {
+		t.Errorf("resumed store replay differs from uninterrupted run\n got %d bytes\nwant %d bytes",
+			len(replayed.String()), len(want))
 	}
 }

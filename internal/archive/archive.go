@@ -224,6 +224,11 @@ func (aw *Writer) SetAnchor(t time.Time) {
 // Segments returns how many segments have been appended.
 func (aw *Writer) Segments() int { return len(aw.segs) }
 
+// Bytes returns how many bytes have been written so far (header and
+// appended segments; the manifest and trailer only after Close). The store
+// layer's size-based rotation policy reads it.
+func (aw *Writer) Bytes() int64 { return aw.n }
+
 // Close writes the manifest and trailer. It does not close the underlying
 // writer. A writer whose Close fails (or is never called) leaves an archive
 // without a manifest, which OpenReader rejects and Recover salvages.

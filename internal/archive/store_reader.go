@@ -1,0 +1,486 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/llmprism/llmprism/internal/flow"
+)
+
+// StoreRecovery describes what a lenient store open or resume had to
+// reconcile. Clean means the store opened strictly with nothing to note.
+type StoreRecovery struct {
+	Clean bool
+	Notes []string
+}
+
+func (r *StoreRecovery) String() string {
+	if r.Clean {
+		return "store clean"
+	}
+	return "store recovered: " + strings.Join(r.Notes, "; ")
+}
+
+// Store is a read view of a multi-segment store (or of a single-file LPA1
+// archive presented as a one-segment store). It holds no open files;
+// Replay/Scan open the segment files they visit.
+type Store struct {
+	dir    string
+	meta   Meta
+	anchor time.Time
+	segs   []StoreSegment // index order
+}
+
+// OpenStore strictly opens a store directory: a valid manifest, every
+// manifested segment present at its recorded size, no unmanifested
+// segments, and no write temporaries (a leftover .tmp means a crashed
+// writer — use OpenStoreRecovering or ResumeStoreWriter, which would
+// otherwise be silently omitted data).
+func OpenStore(dir string) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, StoreManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("archive: open store: %w", err)
+	}
+	meta, anchor, _, segs, err := decodeStoreManifest(b)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := listStoreDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(sd.tmps) + len(sd.salvages); n > 0 || sd.manifestTmp {
+		return nil, fmt.Errorf("archive: store %s holds write temporaries (crashed writer?); open with recovery", dir)
+	}
+	onDisk := make(map[int]bool, len(sd.finalized))
+	for _, idx := range sd.finalized {
+		onDisk[idx] = true
+	}
+	known := make(map[int]bool, len(segs))
+	for i := range segs {
+		s := &segs[i]
+		known[s.Index] = true
+		if !onDisk[s.Index] {
+			return nil, fmt.Errorf("archive: manifested segment %s missing from store", s.File())
+		}
+		st, err := os.Stat(filepath.Join(dir, s.File()))
+		if err != nil {
+			return nil, fmt.Errorf("archive: open store: %w", err)
+		}
+		if st.Size() != s.Bytes {
+			return nil, fmt.Errorf("archive: segment %s is %d bytes, manifest says %d", s.File(), st.Size(), s.Bytes)
+		}
+	}
+	for _, idx := range sd.finalized {
+		if !known[idx] {
+			return nil, fmt.Errorf("archive: unmanifested segment %s in store", segFileName(idx, segFileSuffix))
+		}
+	}
+	return newStore(dir, meta, nanosTime(anchor), segs), nil
+}
+
+// OpenStoreRecovering opens a store leniently, reconciling the manifest
+// against the files: a manifest one step behind its directory (finalize or
+// prune interrupted mid-crash) is repaired in memory, an unreadable or
+// missing manifest is rebuilt from the segment files, intact finalized
+// segments missing from the manifest are adopted, and a leftover open
+// segment's .tmp is salvage-scanned and replayed as a trailing segment.
+// Every segment file is opened leniently at replay time. The view is
+// read-only: nothing on disk is modified.
+func OpenStoreRecovering(dir string) (*Store, *StoreRecovery, error) {
+	rec := &StoreRecovery{Clean: true}
+	note := func(format string, args ...any) {
+		rec.Clean = false
+		rec.Notes = append(rec.Notes, fmt.Sprintf(format, args...))
+	}
+	sd, err := listStoreDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sd.manifestTmp {
+		note("ignoring torn manifest temporary")
+	}
+	var (
+		meta     Meta
+		haveMeta bool
+		anchor   time.Time
+		segs     []StoreSegment
+	)
+	if b, rerr := os.ReadFile(filepath.Join(dir, StoreManifestName)); rerr != nil {
+		note("manifest unreadable (%v); rebuilding from segment files", rerr)
+	} else if m, a, _, s, derr := decodeStoreManifest(b); derr != nil {
+		note("manifest invalid (%v); rebuilding from segment files", derr)
+	} else {
+		meta, anchor, segs, haveMeta = m, nanosTime(a), s, true
+	}
+
+	onDisk := make(map[int]bool, len(sd.finalized))
+	for _, idx := range sd.finalized {
+		onDisk[idx] = true
+	}
+	keptSegs := segs[:0]
+	known := make(map[int]bool, len(segs))
+	for i := range segs {
+		if !onDisk[segs[i].Index] {
+			note("manifested segment %s missing; dropped", segs[i].File())
+			continue
+		}
+		if st, serr := os.Stat(filepath.Join(dir, segs[i].File())); serr == nil && st.Size() != segs[i].Bytes {
+			note("segment %s is %d bytes, manifest says %d; will salvage", segs[i].File(), st.Size(), segs[i].Bytes)
+		}
+		known[segs[i].Index] = true
+		keptSegs = append(keptSegs, segs[i])
+	}
+	segs = keptSegs
+
+	for _, idx := range sd.finalized {
+		if known[idx] {
+			continue
+		}
+		entry, emeta, ferr := readFinalizedEntry(dir, idx)
+		if ferr != nil {
+			// Not strictly openable: salvage-scan it at replay time.
+			entry, emeta, ferr = recoverEntry(dir, segFileName(idx, segFileSuffix), idx)
+			if ferr != nil {
+				note("segment %s unreadable (%v); skipped", segFileName(idx, segFileSuffix), ferr)
+				continue
+			}
+			entry.salvage = true
+		}
+		if haveMeta && emeta != meta {
+			note("segment %s geometry %+v differs from manifest %+v; skipped", segFileName(idx, segFileSuffix), emeta, meta)
+			continue
+		}
+		if !haveMeta {
+			meta, haveMeta = emeta, true
+		}
+		note("adopted unmanifested segment %s (%d windows)", segFileName(idx, segFileSuffix), entry.Windows)
+		segs = append(segs, entry)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Index < segs[j].Index })
+
+	maxIdx := 0
+	if len(segs) > 0 {
+		maxIdx = segs[len(segs)-1].Index
+	}
+	for _, idx := range sd.salvages {
+		note("ignoring interrupted salvage of segment %d", idx)
+	}
+	for _, idx := range sd.tmps {
+		name := segFileName(idx, segTmpSuffix)
+		if idx <= maxIdx {
+			// A finished salvage whose torn original was not yet removed;
+			// its surviving windows are already in the finalized file.
+			note("ignoring stale segment temporary %s", name)
+			continue
+		}
+		entry, emeta, ferr := recoverEntry(dir, name, idx)
+		if ferr != nil {
+			note("segment temporary %s unreadable (%v); skipped", name, ferr)
+			continue
+		}
+		if entry.Windows == 0 {
+			note("segment temporary %s held no intact windows", name)
+			continue
+		}
+		if haveMeta && emeta != meta {
+			note("segment temporary %s geometry differs from manifest; skipped", name)
+			continue
+		}
+		if !haveMeta {
+			meta, haveMeta = emeta, true
+		}
+		entry.file = name
+		entry.salvage = true
+		note("salvaged %d windows from open segment %s", entry.Windows, name)
+		segs = append(segs, entry)
+	}
+	if !haveMeta {
+		return nil, nil, fmt.Errorf("archive: %s holds no readable store manifest or segments", dir)
+	}
+	return newStore(dir, meta, anchor, segs), rec, nil
+}
+
+// recoverEntry salvage-scans one segment file (finalized or .tmp) into an
+// in-memory entry. Summaries are not recomputed — the entry matches every
+// query.
+func recoverEntry(dir, name string, idx int) (StoreSegment, Meta, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return StoreSegment{}, Meta{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return StoreSegment{}, Meta{}, err
+	}
+	r, _, err := Recover(f, st.Size())
+	if err != nil {
+		return StoreSegment{}, Meta{}, err
+	}
+	entry := StoreSegment{Index: idx, Windows: r.NumSegments(), Bytes: st.Size(), PairOverflow: true, SwitchOverflow: true}
+	for i := 0; i < r.NumSegments(); i++ {
+		s := r.Segment(i)
+		if i == 0 {
+			entry.FirstSeq, entry.LastSeq = s.Seq, s.Seq
+			entry.MinStart, entry.MaxEnd = s.Start, s.End
+		} else {
+			entry.FirstSeq = min(entry.FirstSeq, s.Seq)
+			entry.LastSeq = max(entry.LastSeq, s.Seq)
+			if s.Start.Before(entry.MinStart) {
+				entry.MinStart = s.Start
+			}
+			if s.End.After(entry.MaxEnd) {
+				entry.MaxEnd = s.End
+			}
+		}
+	}
+	return entry, r.Meta(), nil
+}
+
+// FileStore presents a single-file LPA1 archive as a strict one-segment
+// store — the compatibility path keeping every pre-store archive readable.
+func FileStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	r, err := OpenReader(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	return fileStore(path, r, st.Size(), false), nil
+}
+
+// FileStoreRecovering presents a single-file archive leniently: strict
+// open first, salvage scan on failure, mirroring OpenReaderRecovering.
+func FileStoreRecovering(path string) (*Store, *StoreRecovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rep, err := OpenReaderRecovering(f, st.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &StoreRecovery{Clean: rep.Clean}
+	if !rep.Clean {
+		rec.Notes = []string{rep.String()}
+	}
+	return fileStore(path, r, st.Size(), !rep.Clean), rec, nil
+}
+
+func fileStore(path string, r *Reader, size int64, salvage bool) *Store {
+	var segs []StoreSegment
+	if r.NumSegments() > 0 {
+		entry := StoreSegment{Index: 1, Windows: r.NumSegments(), Bytes: size, PairOverflow: true, SwitchOverflow: true}
+		for i := 0; i < r.NumSegments(); i++ {
+			s := r.Segment(i)
+			if i == 0 {
+				entry.FirstSeq, entry.LastSeq = s.Seq, s.Seq
+				entry.MinStart, entry.MaxEnd = s.Start, s.End
+			} else {
+				entry.FirstSeq = min(entry.FirstSeq, s.Seq)
+				entry.LastSeq = max(entry.LastSeq, s.Seq)
+				if s.Start.Before(entry.MinStart) {
+					entry.MinStart = s.Start
+				}
+				if s.End.After(entry.MaxEnd) {
+					entry.MaxEnd = s.End
+				}
+			}
+		}
+		entry.file = filepath.Base(path)
+		entry.salvage = salvage
+		segs = []StoreSegment{entry}
+	}
+	return newStore(filepath.Dir(path), r.Meta(), r.Anchor(), segs)
+}
+
+// OpenPath opens either archive layout strictly: a directory is a store, a
+// plain file a one-segment store.
+func OpenPath(path string) (*Store, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return OpenStore(path)
+	}
+	return FileStore(path)
+}
+
+// OpenPathRecovering opens either archive layout leniently.
+func OpenPathRecovering(path string) (*Store, *StoreRecovery, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.IsDir() {
+		return OpenStoreRecovering(path)
+	}
+	return FileStoreRecovering(path)
+}
+
+func newStore(dir string, meta Meta, anchor time.Time, segs []StoreSegment) *Store {
+	st := &Store{dir: dir, meta: meta, anchor: anchor, segs: segs}
+	if st.anchor.IsZero() && meta.Width > 0 && len(segs) > 0 {
+		// The recorded anchor went down with a crash; the earliest window
+		// start lies on the original grid, which is all replay needs.
+		min := segs[0].MinStart
+		for i := 1; i < len(segs); i++ {
+			if segs[i].MinStart.Before(min) {
+				min = segs[i].MinStart
+			}
+		}
+		st.anchor = min
+	}
+	return st
+}
+
+// Meta returns the recorded monitor window geometry.
+func (st *Store) Meta() Meta { return st.meta }
+
+// Anchor returns the replay grid origin: the recorded anchor, or (after a
+// crash that lost it) the earliest archived window start, which lies on
+// the same grid.
+func (st *Store) Anchor() time.Time { return st.anchor }
+
+// NumSegments returns the number of segments in the view.
+func (st *Store) NumSegments() int { return len(st.segs) }
+
+// NumWindows returns the total archived window count across segments.
+func (st *Store) NumWindows() int {
+	n := 0
+	for i := range st.segs {
+		n += st.segs[i].Windows
+	}
+	return n
+}
+
+// Segments returns the segment index entries in index order.
+func (st *Store) Segments() []StoreSegment { return st.segs }
+
+// Select returns the segments the query cannot prune — the manifest-level
+// candidate set, computed without opening any file.
+func (st *Store) Select(q Query) []StoreSegment {
+	var sel []StoreSegment
+	for i := range st.segs {
+		if q.MatchSegment(st.segs[i]) {
+			sel = append(sel, st.segs[i])
+		}
+	}
+	return sel
+}
+
+// Replay decodes every archived window across all segments in global
+// event-time order — ascending (Start, Seq) over the whole store, exactly
+// the order a single-file Reader.Replay visits — and hands each to fn.
+// Pushing the frames in this order reproduces the recorded session's
+// reports bit for bit, however the windows were cut into segments.
+func (st *Store) Replay(fn func(Segment, *flow.Frame) error) error {
+	return st.replay(st.segs, nil, fn)
+}
+
+// ReplaySelected replays only query-matching segments and, within them,
+// only windows overlapping the query's time bounds — the corpus for
+// re-analyzing a time/pair/switch slice under a new configuration.
+func (st *Store) ReplaySelected(q Query, fn func(Segment, *flow.Frame) error) error {
+	return st.replay(st.Select(q), q.OverlapsWindow, fn)
+}
+
+// Scan visits individual matching rows: manifest pruning, then window
+// time-bounds, then the exact per-row predicate. fn receives the window's
+// segment, its frame, and the row index.
+func (st *Store) Scan(q Query, fn func(Segment, *flow.Frame, int) error) error {
+	return st.replay(st.Select(q), q.OverlapsWindow, func(s Segment, f *flow.Frame) error {
+		for i := 0; i < f.Len(); i++ {
+			if !q.MatchRow(f, i) {
+				continue
+			}
+			if err := fn(s, f, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (st *Store) replay(sel []StoreSegment, keep func(Segment) bool, fn func(Segment, *flow.Frame) error) error {
+	type win struct {
+		r *Reader
+		i int
+	}
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	var wins []win
+	for si := range sel {
+		sg := &sel[si]
+		path := filepath.Join(st.dir, sg.File())
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("archive: replay store: %w", err)
+		}
+		files = append(files, f)
+		fi, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("archive: replay store: %w", err)
+		}
+		var r *Reader
+		if sg.salvage {
+			r, _, err = OpenReaderRecovering(f, fi.Size())
+		} else {
+			r, err = OpenReader(f, fi.Size())
+		}
+		if err != nil {
+			return fmt.Errorf("archive: segment %s: %w", sg.File(), err)
+		}
+		if r.Meta() != st.meta {
+			return fmt.Errorf("archive: segment %s geometry %+v differs from store %+v", sg.File(), r.Meta(), st.meta)
+		}
+		for i := 0; i < r.NumSegments(); i++ {
+			if keep == nil || keep(r.Segment(i)) {
+				wins = append(wins, win{r, i})
+			}
+		}
+	}
+	// Global event-time order across segment files. Within one session the
+	// seqs are globally unique, so the order is total; a pre-anchor
+	// straggler window in a later segment interleaves here exactly as it
+	// does in a single-file archive's manifest sort.
+	sort.SliceStable(wins, func(a, b int) bool {
+		sa, sb := wins[a].r.Segment(wins[a].i), wins[b].r.Segment(wins[b].i)
+		if !sa.Start.Equal(sb.Start) {
+			return sa.Start.Before(sb.Start)
+		}
+		return sa.Seq < sb.Seq
+	})
+	for _, w := range wins {
+		f, err := w.r.Frame(w.i)
+		if err != nil {
+			return err
+		}
+		if err := fn(w.r.Segment(w.i), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

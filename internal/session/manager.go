@@ -112,6 +112,7 @@ func (m *Manager) claimPaths(cluster string, cfg Config) ([]string, error) {
 	var claimed []string
 	for _, out := range []struct{ role, path string }{
 		{"archive", cfg.ArchivePath},
+		{"store", cfg.StoreDir},
 		{"checkpoint", cfg.CheckpointPath},
 	} {
 		if out.path == "" {

@@ -3,87 +3,87 @@ package session
 import (
 	"context"
 	"fmt"
-	"os"
+	"time"
 
 	"github.com/llmprism/llmprism"
 	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/flow"
 )
 
-// Replay is a Session driven from a recorded binary trace archive instead
-// of live records: the archive's window geometry and grid anchor override
+// Replay is a Session driven from a recorded binary trace — a single-file
+// LPA1 archive or a rotated multi-segment store directory — instead of
+// live records: the recording's window geometry and grid anchor override
 // the config's, so the replayed session reproduces the recorded reports
-// bit for bit.
+// bit for bit, however the capture was cut into segments.
 type Replay struct {
 	*Session
-	f  *os.File
-	ar *archive.Reader
+	st *archive.Store
 	// Recovery describes what a salvage open of a torn or unclosed
-	// archive kept and discarded. It is nil when the archive opened
-	// cleanly (including a clean open under salvage mode).
-	Recovery *archive.RecoveryReport
+	// capture had to reconcile. It is nil when the trace opened cleanly
+	// (including a clean open under salvage mode).
+	Recovery *archive.StoreRecovery
 }
 
-// OpenReplay reopens a recorded trace archive and builds a fresh session
-// on the recorded window grid. The config's Window and Lateness are used
-// only for archives from unwindowed captures (zero recorded width); its
-// ArchivePath and Anchor are ignored — a replay never re-records itself,
-// and the grid anchor comes from the archive. With salvage set, a torn or
-// unclosed archive is recovered to its intact whole-window prefix
-// (Recovery then says what was lost); otherwise such archives are
-// rejected. Archives recorded with overlapping windows (hop < width) are
-// refused: their records would be duplicated across windows.
+// OpenReplay reopens a recorded trace — a store directory or a plain
+// archive file — and builds a fresh session on the recorded window grid.
+// The config's Window and Lateness are used only for archives from
+// unwindowed captures (zero recorded width); its capture and resume
+// fields are ignored — a replay never re-records itself, and the grid
+// anchor comes from the recording. With salvage set, a torn or unclosed
+// capture is recovered to what its intact windows allow (Recovery then
+// says what was reconciled); otherwise such captures are rejected.
+// Captures recorded with overlapping windows (hop < width) are refused:
+// their records would be duplicated across windows.
 func OpenReplay(ctx context.Context, cfg Config, path string, salvage bool) (*Replay, error) {
-	f, err := os.Open(path)
+	st, recovery, err := openTrace(path, salvage)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	var ar *archive.Reader
-	var recovery *archive.RecoveryReport
-	if salvage {
-		var rep *archive.RecoveryReport
-		ar, rep, err = archive.OpenReaderRecovering(f, st.Size())
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		if !rep.Clean {
-			recovery = rep
-		}
-	} else {
-		ar, err = archive.OpenReader(f, st.Size())
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	meta := ar.Meta()
+	meta := st.Meta()
 	if meta.Width == 0 {
 		// Unwindowed capture: the config supplies the grid.
 		meta.Width, meta.Hop, meta.Lateness = cfg.Window, cfg.Window, cfg.Lateness
 	}
 	if meta.Hop > 0 && meta.Hop < meta.Width {
-		f.Close()
 		return nil, fmt.Errorf("replay: archive recorded overlapping windows (hop %v < width %v); records would be duplicated across windows", meta.Hop, meta.Width)
 	}
 	cfg.Window, cfg.Hop, cfg.Lateness = meta.Width, meta.Hop, meta.Lateness
-	cfg.Anchor = ar.Anchor()
-	cfg.ArchivePath = ""
+	cfg.Anchor = st.Anchor()
+	cfg.ArchivePath, cfg.StoreDir, cfg.Resume = "", "", false
 	s, err := Open(ctx, cfg)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	return &Replay{Session: s, f: f, ar: ar, Recovery: recovery}, nil
+	return &Replay{Session: s, st: st, Recovery: recovery}, nil
 }
 
-// NumSegments returns the number of archived windows the replay covers.
-func (r *Replay) NumSegments() int { return r.ar.NumSegments() }
+// openTrace opens a recorded trace path strictly or leniently, returning
+// a recovery report only when something had to be reconciled.
+func openTrace(path string, salvage bool) (*archive.Store, *archive.StoreRecovery, error) {
+	if !salvage {
+		st, err := archive.OpenPath(path)
+		return st, nil, err
+	}
+	st, rec, err := archive.OpenPathRecovering(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Clean {
+		rec = nil
+	}
+	return st, rec, nil
+}
+
+// Store exposes the opened trace view, for callers that want to inspect
+// segments or run manifest-pruned queries beside the replay.
+func (r *Replay) Store() *archive.Store { return r.st }
+
+// NumSegments returns how many store segments the replay covers (one for
+// a single-file archive).
+func (r *Replay) NumSegments() int { return r.st.NumSegments() }
+
+// NumWindows returns the number of archived windows the replay covers.
+func (r *Replay) NumWindows() int { return r.st.NumWindows() }
 
 // Run pushes every archived window's frame through the session via the
 // bulk columnar path, then closes it. emit receives each batch of released
@@ -91,7 +91,7 @@ func (r *Replay) NumSegments() int { return r.ar.NumSegments() }
 // Close flushes — the same interleaving the recording session printed, so
 // the emitted stream compares line for line.
 func (r *Replay) Run(emit func([]*llmprism.Report)) error {
-	if err := r.ar.Replay(func(_ archive.Segment, fr *flow.Frame) error {
+	if err := r.st.Replay(func(_ archive.Segment, fr *flow.Frame) error {
 		reports, err := r.PushFrame(fr)
 		emit(reports)
 		return err
@@ -103,6 +103,39 @@ func (r *Replay) Run(emit func([]*llmprism.Report)) error {
 	return err
 }
 
-// Release closes the archive file. It does not touch the session; call
-// Close (or let Run do it) first.
-func (r *Replay) Release() error { return r.f.Close() }
+// RunSelected is Run restricted to the query's slice of the trace:
+// segments the store manifest cannot prune, and within them only windows
+// overlapping the query's time bounds — re-analysis of a time/pair/switch
+// slice under this session's (possibly different) configuration.
+func (r *Replay) RunSelected(q archive.Query, emit func([]*llmprism.Report)) error {
+	if err := r.st.ReplaySelected(q, func(_ archive.Segment, fr *flow.Frame) error {
+		reports, err := r.PushFrame(fr)
+		emit(reports)
+		return err
+	}); err != nil {
+		return err
+	}
+	reports, err := r.Close()
+	emit(reports)
+	return err
+}
+
+// Release exists for symmetry with earlier file-backed replays; a store
+// view holds no open files, so it is a no-op. It does not touch the
+// session; call Close (or let Run do it) first.
+func (r *Replay) Release() error { return nil }
+
+// Scan is a session-free query over a recorded trace: it opens path like
+// OpenReplay, prunes segments through the store manifest, and visits every
+// record matching q in global event-time order. fn receives each matching
+// row's window bounds and its frame row. The store's recovery note (nil
+// when clean) is returned alongside any error.
+func Scan(path string, salvage bool, q archive.Query, fn func(start, end time.Time, f *flow.Frame, i int) error) (*archive.StoreRecovery, error) {
+	st, recovery, err := openTrace(path, salvage)
+	if err != nil {
+		return nil, err
+	}
+	return recovery, st.Scan(q, func(s archive.Segment, f *flow.Frame, i int) error {
+		return fn(s.Start, s.End, f, i)
+	})
+}

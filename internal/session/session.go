@@ -10,14 +10,18 @@
 //     window geometry, analyzer knobs (bucket, workers, localization,
 //     chronic suppression), archive and checkpoint paths — and the session
 //     built from it. Open assembles the tier-stratified analyzer, the
-//     monitor options and (for recording) the temporary archive file once;
-//     the Session then owns the open → Push/PushFrame → checkpoint → Close
-//     lifecycle, finalizing the archive atomically (sync + rename; a
-//     crashed capture leaves only the salvageable .tmp). OpenReplay is the
-//     inverse: it reopens a recorded archive — strictly, or salvaging the
-//     intact prefix of a torn one — restores the recorded window grid and
-//     anchor, and replays every archived frame through a fresh Session,
-//     reproducing the recorded reports bit for bit.
+//     monitor options and the capture sink once: either a single-file
+//     archive (written to .tmp, renamed atomically on a clean Close) or,
+//     with StoreDir set, a rotating multi-segment archive.Store whose
+//     closed segments finalize atomically mid-run. With Resume, Open
+//     restarts from the checkpoint and reconciles the store to the resume
+//     point, so a killed capture continues bit-identically. OpenReplay is
+//     the inverse: it reopens a recorded archive or store directory —
+//     strictly, or salvaging what a torn capture left — restores the
+//     recorded window grid and anchor, and replays every archived frame
+//     through a fresh Session, reproducing the recorded reports bit for
+//     bit. OpenScan runs time/pair/switch-bounded queries over a store
+//     without building a session at all.
 //
 //   - Manager: a multi-tenant session registry keyed by cluster ID.
 //     Sessions are created lazily on first use from a per-cluster Config
@@ -45,12 +49,16 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/llmprism/llmprism"
+	"github.com/llmprism/llmprism/internal/archive"
 	"github.com/llmprism/llmprism/internal/flow"
 	"github.com/llmprism/llmprism/internal/topology"
 )
@@ -86,8 +94,29 @@ type Config struct {
 	// binary trace archive at this path. The capture is written to
 	// ArchivePath+".tmp" and renamed into place only on a clean Close, so
 	// a crashed session never leaves a torn file under the final name
-	// (the .tmp remains for salvage).
+	// (the .tmp remains for salvage). Mutually exclusive with StoreDir.
 	ArchivePath string
+	// StoreDir, when non-empty, records every completed window into a
+	// rotating multi-segment store rooted at this directory instead of a
+	// single file. Segments rotate at window boundaries per Rotate, and
+	// each closed segment is finalized atomically as the capture runs, so
+	// a crashed session loses at most the open segment's temporary — and
+	// even that stays salvageable. Mutually exclusive with ArchivePath.
+	StoreDir string
+	// Rotate bounds when the store rotates to a new segment and how much
+	// history it retains; the zero policy writes one unbounded segment and
+	// keeps everything. Only meaningful with StoreDir.
+	Rotate archive.StorePolicy
+	// Resume makes Open restart from the CheckpointPath checkpoint instead
+	// of starting fresh: the monitor restores the recorded grid and
+	// continuity state, and the StoreDir store (if any) is reconciled to
+	// the checkpoint's resume point — a crashed open-segment temporary is
+	// salvaged up to it — before new windows append. When the checkpoint
+	// does not exist yet the session starts fresh (first boot under
+	// resume), reconciling any store the previous start left behind to
+	// resume point zero. Requires CheckpointPath and is incompatible with
+	// ArchivePath: a single-file archive cannot be reopened for append.
+	Resume bool
 	// CheckpointPath, when non-empty, persists the session's continuity
 	// state there after every released window (atomic save), enabling
 	// crash-resume.
@@ -160,13 +189,15 @@ func (c Config) monitorOptions() []llmprism.MonitorOption {
 // like the MonitorStream underneath; the Manager adds the per-cluster
 // serialization the daemon needs.
 type Session struct {
-	cfg     Config
-	monitor *llmprism.Monitor
-	stream  *llmprism.MonitorStream
-	af      *os.File
-	tmpPath string
-	windows int
-	closed  bool
+	cfg      Config
+	monitor  *llmprism.Monitor
+	stream   *llmprism.MonitorStream
+	af       *os.File
+	tmpPath  string
+	store    *archive.StoreWriter
+	storeRec *archive.StoreRecovery
+	windows  int
+	closed   bool
 }
 
 // Open builds the session the config describes and starts its monitor
@@ -176,6 +207,17 @@ type Session struct {
 func Open(ctx context.Context, cfg Config) (*Session, error) {
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("session: nil topology")
+	}
+	if cfg.ArchivePath != "" && cfg.StoreDir != "" {
+		return nil, fmt.Errorf("session: ArchivePath and StoreDir are mutually exclusive")
+	}
+	if cfg.Resume {
+		if cfg.CheckpointPath == "" {
+			return nil, fmt.Errorf("session: Resume requires CheckpointPath")
+		}
+		if cfg.ArchivePath != "" {
+			return nil, fmt.Errorf("session: Resume cannot append to a single-file archive; use StoreDir")
+		}
 	}
 	s := &Session{cfg: cfg}
 	opts := cfg.monitorOptions()
@@ -188,19 +230,85 @@ func Open(ctx context.Context, cfg Config) (*Session, error) {
 		s.af = af
 		opts = append(opts, llmprism.WithArchive(af))
 	}
-	monitor, err := llmprism.NewMonitor(cfg.TieredAnalyzer(), cfg.Topo, cfg.Window, opts...)
+	if cfg.StoreDir != "" {
+		opts = append(opts, llmprism.WithArchiveSink(s.openStore))
+	}
+	var monitor *llmprism.Monitor
+	var err error
+	if cfg.Resume {
+		monitor, err = resumeMonitor(cfg, opts)
+	} else {
+		monitor, err = llmprism.NewMonitor(cfg.TieredAnalyzer(), cfg.Topo, cfg.Window, opts...)
+	}
 	if err != nil {
 		s.Abort()
 		return nil, err
 	}
+	// The monitor must be visible before Stream runs: Stream invokes the
+	// openStore factory, which reads the resumed checkpoint's seq off it.
+	s.monitor = monitor
 	stream, err := monitor.Stream(ctx)
 	if err != nil {
 		s.Abort()
 		return nil, err
 	}
-	s.monitor, s.stream = monitor, stream
+	s.stream = stream
 	return s, nil
 }
+
+// resumeMonitor rebuilds the monitor from the config's checkpoint; the
+// checkpoint's window geometry and grid state are authoritative over the
+// config's. A checkpoint that does not exist yet means the previous run
+// (if any) never released a window: the monitor starts fresh.
+func resumeMonitor(cfg Config, opts []llmprism.MonitorOption) (*llmprism.Monitor, error) {
+	f, err := os.Open(cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return llmprism.NewMonitor(cfg.TieredAnalyzer(), cfg.Topo, cfg.Window, opts...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("session: resume: %w", err)
+	}
+	defer f.Close()
+	return llmprism.ResumeMonitor(cfg.TieredAnalyzer(), cfg.Topo, f, opts...)
+}
+
+// openStore is the archive-sink factory Stream invokes with the session's
+// resolved window geometry. A fresh session claims StoreDir as a new
+// store; a resumed one reconciles the existing store with the checkpoint
+// — salvaging a crashed open-segment temporary up to the resume boundary
+// — and continues appending after it.
+func (s *Session) openStore(am llmprism.ArchiveMeta) (llmprism.ArchiveSink, error) {
+	meta := archive.Meta{Width: am.Width, Hop: am.Hop, Lateness: am.Lateness}
+	if s.cfg.Resume {
+		// First boot under resume: nothing was claimed yet, so create the
+		// store rather than reconcile one.
+		if _, err := os.Stat(filepath.Join(s.cfg.StoreDir, archive.StoreManifestName)); errors.Is(err, fs.ErrNotExist) {
+			sw, err := archive.CreateStoreWriter(s.cfg.StoreDir, meta, s.cfg.Rotate)
+			if err != nil {
+				return nil, err
+			}
+			s.store = sw
+			return sw, nil
+		}
+		sw, rec, err := archive.ResumeStoreWriter(s.cfg.StoreDir, meta, s.cfg.Rotate, s.monitor.ResumeSeq())
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.storeRec = sw, rec
+		return sw, nil
+	}
+	sw, err := archive.CreateStoreWriter(s.cfg.StoreDir, meta, s.cfg.Rotate)
+	if err != nil {
+		return nil, err
+	}
+	s.store = sw
+	return sw, nil
+}
+
+// StoreRecovery reports what reconciling the store with the checkpoint
+// found and repaired when the session was opened with Resume (nil on a
+// fresh session, or when no store is configured).
+func (s *Session) StoreRecovery() *archive.StoreRecovery { return s.storeRec }
 
 // Window returns the session's resolved window width.
 func (s *Session) Window() time.Duration { return s.monitor.Window() }
@@ -249,8 +357,10 @@ func (s *Session) PushFrame(f *flow.Frame) ([]*llmprism.Report, error) {
 
 // Close flushes every remaining window, returns the trailing reports in
 // window order and — on a clean close with an archive configured — syncs
-// the capture temporary and renames it into its final path. On error the
-// temporary stays on disk for salvage and the final path is never touched.
+// the capture temporary and renames it into its final path. A store is
+// finalized by the stream itself (last segment renamed, manifest
+// rewritten) before Close returns. On error the temporary stays on disk
+// for salvage and the final path is never touched.
 func (s *Session) Close() ([]*llmprism.Report, error) {
 	if s.closed {
 		return nil, fmt.Errorf("session: already closed")
@@ -262,6 +372,8 @@ func (s *Session) Close() ([]*llmprism.Report, error) {
 		s.releaseArchive()
 		return reports, err
 	}
+	// The stream finalized the store sink on its way out.
+	s.store = nil
 	if s.af != nil {
 		af := s.af
 		s.af = nil
@@ -279,20 +391,26 @@ func (s *Session) Close() ([]*llmprism.Report, error) {
 }
 
 // Abort releases the session's file handles without finalizing anything:
-// the archive temporary is closed but left on disk (salvageable with
-// replay -recover), and the final archive path is never created. Abort
-// after a clean Close is a no-op, so callers can defer it.
+// a single-file archive temporary is closed but left on disk (salvageable
+// with replay -recover), a store keeps its finalized segments and
+// manifest as last persisted with the open segment's .tmp left for
+// salvage, and no final archive path is ever created. Abort after a clean
+// Close is a no-op, so callers can defer it.
 func (s *Session) Abort() {
 	s.closed = true
 	s.releaseArchive()
 }
 
-// releaseArchive closes the capture temporary (if still open) without
-// renaming it into place.
+// releaseArchive closes the capture temporary or store writer (if still
+// open) without finalizing either.
 func (s *Session) releaseArchive() {
 	if s.af != nil {
 		s.af.Close()
 		s.af = nil
+	}
+	if s.store != nil {
+		s.store.Abort()
+		s.store = nil
 	}
 }
 

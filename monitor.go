@@ -107,18 +107,19 @@ type Monitor struct {
 }
 
 type monitorConfig struct {
-	window     time.Duration
-	hop        time.Duration
-	lateness   time.Duration
-	depth      int
-	registry   jobrec.RegistryConfig
-	archive    io.Writer
-	anchor     time.Time
-	suppress   bool
-	incident   diagnose.IncidentConfig
-	checkpoint string
-	coverage   CoverageConfig
-	coverageOn bool
+	window      time.Duration
+	hop         time.Duration
+	lateness    time.Duration
+	depth       int
+	registry    jobrec.RegistryConfig
+	archive     io.Writer
+	archiveSink func(ArchiveMeta) (ArchiveSink, error)
+	anchor      time.Time
+	suppress    bool
+	incident    diagnose.IncidentConfig
+	checkpoint  string
+	coverage    CoverageConfig
+	coverageOn  bool
 }
 
 // MonitorOption customizes a Monitor.
@@ -183,6 +184,36 @@ func WithChronicSuppression(cfg diagnose.IncidentConfig) MonitorOption {
 // ignores the option.
 func WithArchive(w io.Writer) MonitorOption {
 	return func(c *monitorConfig) { c.archive = w }
+}
+
+// ArchiveMeta is the window geometry a Stream session hands its archive
+// sink at open time — the geometry the sink must stamp into whatever
+// container it writes.
+type ArchiveMeta struct {
+	Width, Hop, Lateness time.Duration
+}
+
+// ArchiveSink persists a Stream session's released windows. Append
+// receives every window in emission (seq) order with its bounds and
+// already-built columnar frame; SetAnchor is called with the session's
+// event-time grid origin before each Append (and at Close), so a sink that
+// rotates into multiple containers can stamp the anchor on each; Close
+// finalizes the container. archive.Writer and archive.StoreWriter both
+// satisfy it.
+type ArchiveSink interface {
+	Append(seq int, start, end time.Time, f *FlowFrame) error
+	SetAnchor(t time.Time)
+	Close() error
+}
+
+// WithArchiveSink makes the Stream session record every completed window
+// through a caller-built sink — the generalization of WithArchive that the
+// session layer uses to write rotating multi-segment stores. The factory
+// runs when Stream opens, receiving the session's resolved window geometry
+// (which a Monitor only knows after NewMonitor/ResumeMonitor has applied
+// every option). It takes precedence over WithArchive when both are set.
+func WithArchiveSink(open func(ArchiveMeta) (ArchiveSink, error)) MonitorOption {
+	return func(c *monitorConfig) { c.archiveSink = open }
 }
 
 // WithAnchor pre-sets the Stream session's event-time grid origin instead
@@ -377,6 +408,19 @@ func (m *Monitor) ResumeFrom() time.Time {
 		return time.Time{}
 	}
 	return m.resume.ResumeFrom()
+}
+
+// ResumeSeq returns the seq of the first window a resumed monitor's Stream
+// session will emit (0 on a fresh monitor). An archive sink resuming a
+// partially-written store salvages strictly below this boundary: every
+// earlier window is checkpointed and must already be archived, every
+// window at or past it will be re-emitted — and re-archived — by the
+// resumed session.
+func (m *Monitor) ResumeSeq() int {
+	if m.resume == nil {
+		return 0
+	}
+	return m.resume.Engine.Seq
 }
 
 // Window returns the monitor's window width.
@@ -707,10 +751,9 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 	if len(m.buf) > 0 || (m.seq > 0 && m.resume == nil) {
 		return nil, fmt.Errorf("llmprism: monitor has Feed state (%d buffered records, %d windows emitted); use a fresh Monitor for streaming", len(m.buf), m.seq)
 	}
-	var sink *archive.Writer
-	if m.cfg.archive != nil {
-		var err error
-		sink, err = archive.NewWriter(m.cfg.archive, archive.Meta{
+	var sink ArchiveSink
+	if m.cfg.archiveSink != nil {
+		s, err := m.cfg.archiveSink(ArchiveMeta{
 			Width:    m.cfg.window,
 			Hop:      m.cfg.hop,
 			Lateness: m.cfg.lateness,
@@ -718,6 +761,17 @@ func (m *Monitor) Stream(ctx context.Context) (*MonitorStream, error) {
 		if err != nil {
 			return nil, fmt.Errorf("llmprism: open archive sink: %w", err)
 		}
+		sink = s
+	} else if m.cfg.archive != nil {
+		aw, err := archive.NewWriter(m.cfg.archive, archive.Meta{
+			Width:    m.cfg.window,
+			Hop:      m.cfg.hop,
+			Lateness: m.cfg.lateness,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("llmprism: open archive sink: %w", err)
+		}
+		sink = aw
 	}
 	m.streaming = true
 	scfg := stream.Config{
@@ -750,7 +804,7 @@ type MonitorStream struct {
 	m    *Monitor
 	ctx  context.Context
 	eng  *stream.Engine[*Report]
-	sink *archive.Writer
+	sink ArchiveSink
 	// lastState is the grid state as of the most recently released window
 	// — what Checkpoint serializes (nil until the first release on a
 	// fresh session; a resumed session starts from its checkpoint).
@@ -846,6 +900,10 @@ func (s *MonitorStream) collect(results []stream.Result[*Report]) ([]*Report, er
 		s.m.seq = res.Window.Seq + 1
 		s.m.annotate(r, res.Rows)
 		if s.sink != nil {
+			// Anchor before every Append, not just at Close: a rotating
+			// sink finalizes segments mid-session, and each must carry the
+			// grid origin so any salvaged prefix replays on the same grid.
+			s.sink.SetAnchor(s.eng.Anchor())
 			if err := s.sink.Append(res.Window.Seq, res.Window.Start, res.Window.End, res.Frame); err != nil {
 				s.err = fmt.Errorf("llmprism: archive window %d: %w", res.Window.Seq, err)
 				return reports, s.err
